@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures (see harness.py for helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSetup
+from repro.config import small_config
+
+
+@pytest.fixture
+def quick_setup() -> ExperimentSetup:
+    """Small but representative: 5 apps covering compute/memory/mixed."""
+    return ExperimentSetup(
+        config=small_config(),
+        workloads=("comd", "xsbench", "hacc", "dgemm", "BwdBN"),
+        scale=0.3,
+        max_epochs=250,
+        oracle_sample_freqs=4,
+    )
+
+
+@pytest.fixture
+def tiny_setup() -> ExperimentSetup:
+    """Two contrasting apps, for the most expensive sweeps."""
+    return ExperimentSetup(
+        config=small_config(),
+        workloads=("comd", "xsbench"),
+        scale=0.25,
+        max_epochs=200,
+        oracle_sample_freqs=4,
+    )

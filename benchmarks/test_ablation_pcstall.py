@@ -1,0 +1,111 @@
+"""Ablations of PCSTALL's design choices (DESIGN.md Section 6).
+
+Sweeps the knobs Section 4.4 tunes: PC-table size (the paper picks 128
+entries for a 95%+ hit ratio), table sharing across CUs (Figure 10 says
+sharing costs little), the last-value update policy, and the age
+normalisation of the wavefront STALL estimator.
+"""
+
+from repro.analysis.report import format_table
+from repro.core import EDnPObjective
+from repro.core.estimators import WavefrontStallModel
+from repro.core.pc_table import PCTableConfig
+from repro.dvfs.designs import make_controller
+from repro.dvfs.simulation import DvfsSimulation
+from repro.workloads import build_workload, workload
+
+from harness import record, run_once
+
+
+def _run_pcstall(setup, wl="comd", table_config=None, cus_per_table=1, age_kappa=None):
+    cfg = setup.config
+    kernels = build_workload(workload(wl), scale=setup.scale)
+    ctrl = make_controller(
+        "PCSTALL", cfg, EDnPObjective(2),
+        table_config=table_config, cus_per_table=cus_per_table,
+    )
+    if age_kappa is not None:
+        ctrl.predictor.estimator = WavefrontStallModel(age_kappa=age_kappa)
+    return DvfsSimulation(
+        kernels, ctrl, cfg, design_name="PCSTALL", max_epochs=setup.max_epochs,
+        collect_accuracy=True, oracle_sample_freqs=setup.oracle_sample_freqs,
+    ).run()
+
+
+def test_ablation_table_size(benchmark, tiny_setup):
+    def sweep():
+        out = {}
+        for entries in (8, 32, 128):
+            tbl = PCTableConfig(n_entries=entries)
+            r = _run_pcstall(tiny_setup, table_config=tbl)
+            out[entries] = (r.pc_hit_ratio, r.prediction_accuracy)
+        return out
+
+    result = run_once(benchmark, sweep)
+    rows = [[e, h, a] for e, (h, a) in result.items()]
+    record(
+        "ablation_table_size",
+        format_table(["entries", "hit ratio", "accuracy"], rows,
+                     title="Ablation: PC-table size (paper picks 128 for 95%+ hits)"),
+    )
+    # Bigger tables hit more; 128 entries covers the loop bodies.
+    assert result[128][0] >= result[8][0]
+    assert result[128][0] > 0.6
+
+
+def test_ablation_table_sharing(benchmark, tiny_setup):
+    def sweep():
+        out = {}
+        n_cus = tiny_setup.config.gpu.n_cus
+        for share in (1, n_cus):
+            r = _run_pcstall(tiny_setup, cus_per_table=share)
+            out[share] = r.prediction_accuracy
+        return out
+
+    result = run_once(benchmark, sweep)
+    rows = [[f"{k} CU(s)/table", v] for k, v in result.items()]
+    record(
+        "ablation_table_sharing",
+        format_table(["sharing", "accuracy"], rows,
+                     title="Ablation: table sharing (Fig 10: sharing costs little)"),
+    )
+    shared = result[tiny_setup.config.gpu.n_cus]
+    private = result[1]
+    # Sharing degrades accuracy only mildly.
+    assert shared > private - 0.1
+
+
+def test_ablation_age_normalisation(benchmark, tiny_setup):
+    def sweep():
+        return {
+            kappa: _run_pcstall(tiny_setup, wl="comd", age_kappa=kappa).prediction_accuracy
+            for kappa in (0.0, 0.35)
+        }
+
+    result = run_once(benchmark, sweep)
+    rows = [[k, v] for k, v in result.items()]
+    record(
+        "ablation_age_normalisation",
+        format_table(["age kappa", "accuracy"], rows,
+                     title="Ablation: scheduling-age normalisation (Section 4.4)"),
+    )
+    # Both variants must remain functional predictors.
+    assert all(v > 0.5 for v in result.values())
+
+
+def test_ablation_update_weight(benchmark, tiny_setup):
+    def sweep():
+        out = {}
+        for w in (1.0, 0.5):
+            tbl = PCTableConfig(update_weight=w)
+            out[w] = _run_pcstall(tiny_setup, table_config=tbl).prediction_accuracy
+        return out
+
+    result = run_once(benchmark, sweep)
+    rows = [[w, v] for w, v in result.items()]
+    record(
+        "ablation_update_weight",
+        format_table(["update weight", "accuracy"], rows,
+                     title="Ablation: last-value (1.0) vs blended (0.5) table updates"),
+    )
+    assert all(v > 0.5 for v in result.values())

@@ -1,0 +1,29 @@
+"""Figure 1a: the ED2P opportunity grows as DVFS epochs shrink, and the
+predictive design keeps harvesting it while reactive designs plateau."""
+
+from repro.analysis.experiments import epoch_duration_trend
+
+from harness import record, run_once
+
+
+def test_fig01a_ed2p_vs_epoch(benchmark, tiny_setup):
+    result = run_once(
+        benchmark,
+        lambda: epoch_duration_trend(
+            tiny_setup,
+            designs=("CRISP", "PCSTALL", "ORACLE"),
+            epoch_durations_ns=(1_000.0, 10_000.0, 50_000.0),
+            n=2,
+        ),
+    )
+    record("fig01a_ed2p_vs_epoch", result.render())
+
+    durations = sorted(result.values)
+    fine, coarse = result.values[durations[0]], result.values[durations[-1]]
+    # Shape: at fine epochs the predictive design extracts at least as
+    # much ED2P improvement as at coarse epochs...
+    assert fine["PCSTALL"] <= coarse["PCSTALL"] + 0.03
+    # ...and beats the reactive state of the art at fine grain.
+    assert fine["PCSTALL"] <= fine["CRISP"] + 0.01
+    # DVFS pays off vs static at the finest epoch.
+    assert fine["PCSTALL"] < 1.0

@@ -1,0 +1,28 @@
+"""Figure 1b: prediction accuracy by epoch duration - PC-based prediction
+dominates reactive estimation, most visibly at fine grain."""
+
+from repro.analysis.experiments import epoch_duration_trend
+
+from harness import record, run_once
+
+
+def test_fig01b_accuracy_vs_epoch(benchmark, tiny_setup):
+    result = run_once(
+        benchmark,
+        lambda: epoch_duration_trend(
+            tiny_setup,
+            designs=("CRISP", "ACCREAC", "PCSTALL"),
+            epoch_durations_ns=(1_000.0, 10_000.0, 50_000.0),
+            n=2,
+        ),
+    )
+    record("fig01b_accuracy_vs_epoch", result.render())
+
+    fine = result.accuracies[min(result.accuracies)]
+    # Shape at 1us: PCSTALL > ACCREAC (predict beats perfectly-informed
+    # reaction) and PCSTALL > CRISP.
+    assert fine["PCSTALL"] > fine["ACCREAC"]
+    assert fine["PCSTALL"] > fine["CRISP"]
+    # Accuracy improves (or holds) for every design as epochs coarsen.
+    coarse = result.accuracies[max(result.accuracies)]
+    assert coarse["CRISP"] >= fine["CRISP"] - 0.05

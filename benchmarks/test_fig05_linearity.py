@@ -1,0 +1,19 @@
+"""Figure 5: instructions committed are ~linear in frequency (R^2 ~ 0.82)."""
+
+from repro.analysis.experiments import fig05_linearity
+
+from harness import record, run_once
+
+
+def test_fig05_linearity(benchmark, quick_setup):
+    result = run_once(benchmark, lambda: fig05_linearity(quick_setup, sample_epochs=(2, 5, 9, 14)))
+    text = result.render()
+    # Also show the comd points the paper's scatter plot uses.
+    comd = result.per_workload["comd"]
+    lines = [text, "", "comd sampled epochs (frequency -> commits):"]
+    for e in comd.epochs:
+        pts = "  ".join(f"{f:.1f}:{c}" for f, c in e.points[::3])
+        lines.append(f"  epoch {e.epoch_index:3d} (R^2={e.r_squared:.2f}): {pts}")
+    record("fig05_linearity", "\n".join(lines))
+    # Paper: mean R^2 0.82. Require comparable linearity.
+    assert result.mean_r_squared > 0.7

@@ -1,0 +1,22 @@
+"""Figure 6: highly varying sensitivity profiles over time."""
+
+from repro.analysis.experiments import fig06_profiles
+from repro.core.sensitivity import weighted_relative_change
+
+from harness import record, run_once
+
+
+def test_fig06_profiles(benchmark, quick_setup):
+    result = run_once(
+        benchmark,
+        lambda: fig06_profiles(quick_setup, apps=("dgemm", "hacc", "BwdBN", "xsbench"), max_epochs=25),
+    )
+    record("fig06_sensitivity_profiles", result.render())
+
+    # Shape: the compute apps swing visibly over time; xsbench stays
+    # uniformly low (it is latency-bound, Figure 6d).
+    xs = result.profiles["xsbench"]
+    others = {k: v for k, v in result.profiles.items() if k != "xsbench"}
+    assert max(xs) < max(max(v) for v in others.values()) / 3
+    # BwdBN alternates phases: its profile must vary strongly.
+    assert weighted_relative_change([result.profiles["BwdBN"]]) > 0.2

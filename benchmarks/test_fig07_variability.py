@@ -1,0 +1,23 @@
+"""Figure 7: sensitivity changes sharply across consecutive fine epochs,
+and the variation grows as epochs shrink."""
+
+from repro.analysis.experiments import fig07_variability
+
+from harness import record, run_once
+
+
+def test_fig07_variability(benchmark, quick_setup):
+    result = run_once(
+        benchmark,
+        lambda: fig07_variability(
+            quick_setup, epoch_durations_ns=(1_000.0, 10_000.0, 50_000.0), max_epochs=25
+        ),
+    )
+    record("fig07_variability", result.render())
+
+    # 7a shape: substantial average change across consecutive 1us epochs.
+    assert result.mean_change > 0.15
+    # 7b shape: variability decreases as the epoch grows (paper:
+    # 0.37 @1us -> 0.12 @100us).
+    trend = [result.vs_epoch[k] for k in sorted(result.vs_epoch)]
+    assert trend[0] > trend[-1]

@@ -1,0 +1,29 @@
+"""Figure 8: individual wavefronts drive the CU's sensitivity swings."""
+
+from repro.analysis.experiments import fig08_wavefront_contributions
+
+from harness import record, run_once
+
+
+def test_fig08_wavefront_contributions(benchmark, quick_setup):
+    result = run_once(
+        benchmark, lambda: fig08_wavefront_contributions(quick_setup, app="BwdBN", max_epochs=20)
+    )
+    record("fig08_wavefront_contrib", result.render())
+
+    # Shape: per-slot contributions roughly sum to the CU total, and
+    # different slots contribute at different times (mix shifts).
+    n = len(result.cu_series)
+    slot_sum = [sum(s[i] for s in result.slot_series) for i in range(n)]
+    close = sum(
+        1 for a, b in zip(slot_sum, result.cu_series)
+        if abs(a - b) <= 0.5 * max(abs(b), 20.0)
+    )
+    assert close >= n // 2
+    # At least two slots lead the CU total at different epochs.
+    leaders = set()
+    for i in range(n):
+        vals = [s[i] for s in result.slot_series]
+        if max(vals) > 0:
+            leaders.add(vals.index(max(vals)))
+    assert len(leaders) >= 2

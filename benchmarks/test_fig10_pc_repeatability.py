@@ -1,0 +1,21 @@
+"""Figure 10: epochs starting at the same PC repeat their sensitivity far
+better than consecutive epochs do - the insight PCSTALL is built on."""
+
+from repro.analysis.experiments import fig10_pc_repeatability
+
+from harness import record, run_once
+
+
+def test_fig10_pc_repeatability(benchmark, quick_setup):
+    result = run_once(
+        benchmark,
+        lambda: fig10_pc_repeatability(quick_setup, apps=quick_setup.workload_list(), max_epochs=30),
+    )
+    record("fig10_pc_repeatability", result.render())
+
+    # Central shape of the paper: same-PC change (any granularity) is
+    # well below the consecutive-epoch change (paper: 0.10 vs 0.37).
+    assert result.per_granularity["wf"] < result.consecutive_wf * 0.8
+    # Sharing the table more widely degrades repeatability only mildly
+    # (paper: 64CU/CU/WF all land near 10%).
+    assert result.per_granularity["gpu"] < result.consecutive_wf

@@ -1,0 +1,29 @@
+"""Figure 11: (a) younger wavefront slots absorb scheduling contention;
+(b) PC-index offsets beyond ~4 bits blur distinct code regions."""
+
+from repro.analysis.experiments import fig11_contention_and_offsets
+
+from harness import record, run_once
+
+
+def test_fig11_contention_and_offsets(benchmark, quick_setup):
+    result = run_once(
+        benchmark,
+        lambda: fig11_contention_and_offsets(
+            quick_setup, app="quickS", max_epochs=30, offsets=(0, 2, 4, 6, 8, 10)
+        ),
+    )
+    record("fig11_contention_offsets", result.render())
+
+    # 11a shape: the oldest slot is the most stable; young slots vary
+    # more (oldest-first arbitration).
+    profile = [v for v in result.slot_profile if v > 0]
+    assert profile, "no slot data"
+    old = sum(result.slot_profile[:2]) / 2
+    young = sum(result.slot_profile[-3:]) / 3
+    assert old <= young * 1.2
+
+    # 11b shape: very coarse offsets (>= 8 bits) are no better than the
+    # paper's 4-bit choice.
+    sweep = result.offset_sweep
+    assert sweep[10] >= sweep[4] * 0.95

@@ -1,0 +1,28 @@
+"""Figure 16: time share of each frequency state under PCSTALL/ED2P.
+
+Paper shape: compute-intensive apps (dgemm, hacc) spend their time at the
+high end of the range; memory-intensive apps (hpgmg, xsbench) park low.
+"""
+
+from repro.analysis.experiments import EVAL_DESIGNS
+
+from harness import get_design_matrix, record, run_once
+
+
+def _mean_freq(residency):
+    return sum(f * share for f, share in residency.items())
+
+
+def test_fig16_frequency_share(benchmark, quick_setup):
+    matrix = run_once(benchmark, lambda: get_design_matrix(quick_setup, EVAL_DESIGNS))
+    record("fig16_freq_share", matrix.render_fig16())
+
+    res = {w: matrix.runs[w]["PCSTALL"].frequency_residency for w in matrix.runs}
+    # Memory-bound xsbench parks at the bottom of the range...
+    assert res["xsbench"][1.3] > 0.8
+    # ...while the compute apps run measurably faster on average.
+    assert _mean_freq(res["dgemm"]) > _mean_freq(res["xsbench"]) + 0.2
+    assert _mean_freq(res["hacc"]) > _mean_freq(res["xsbench"])
+    # Every residency distribution is a distribution.
+    for w, r in res.items():
+        assert abs(sum(r.values()) - 1.0) < 1e-6, w

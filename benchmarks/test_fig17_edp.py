@@ -1,0 +1,25 @@
+"""Figure 17: geomean EDP vs epoch duration - same trend as ED2P, with a
+smaller predictive-vs-reactive gap (EDP tolerates slowness more)."""
+
+from repro.analysis.experiments import epoch_duration_trend
+
+from harness import record, run_once
+
+
+def test_fig17_edp(benchmark, tiny_setup):
+    result = run_once(
+        benchmark,
+        lambda: epoch_duration_trend(
+            tiny_setup,
+            designs=("CRISP", "PCSTALL"),
+            epoch_durations_ns=(1_000.0, 10_000.0),
+            n=1,
+        ),
+    )
+    record("fig17_edp", result.render())
+
+    fine = result.values[min(result.values)]
+    # EDP improves vs static 1.7 for the predictive design at fine grain.
+    assert fine["PCSTALL"] < 1.0
+    # PCSTALL at least matches the reactive state of the art.
+    assert fine["PCSTALL"] <= fine["CRISP"] + 0.02

@@ -1,0 +1,27 @@
+"""Figure 18a: energy savings under 5% / 10% performance-degradation caps.
+
+Paper shape: PCSTALL saves far more energy than CRISP at the same cap
+(9.6% vs 2.1% at 5%; 19.9% vs 4.7% at 10%), and a looser cap widens the
+savings.
+"""
+
+from repro.analysis.experiments import fig18a_energy_savings
+
+from harness import record, run_once
+
+
+def test_fig18a_energy_savings(benchmark, quick_setup):
+    result = run_once(
+        benchmark,
+        lambda: fig18a_energy_savings(quick_setup, designs=("CRISP", "PCSTALL"), caps=(0.05, 0.10)),
+    )
+    record("fig18a_energy_savings", result.render())
+
+    # Both designs save energy vs running at 2.2 GHz throughout.
+    assert result.savings[0.05]["PCSTALL"] > 0.0
+    # A looser cap saves more energy.
+    assert result.savings[0.10]["PCSTALL"] >= result.savings[0.05]["PCSTALL"]
+    # The better predictor harvests at least as much as the reactive one.
+    assert result.savings[0.10]["PCSTALL"] >= result.savings[0.10]["CRISP"] - 0.02
+    # The realised slowdown stays in the vicinity of the cap.
+    assert result.degradation[0.05]["PCSTALL"] < 0.25

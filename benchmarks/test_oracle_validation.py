@@ -1,0 +1,13 @@
+"""Section 5.1: fork-and-pre-execute methodology validation (paper: 97.6%)."""
+
+from repro.analysis.experiments import oracle_validation
+
+from harness import record, run_once
+
+
+def test_oracle_validation(benchmark, quick_setup):
+    result = run_once(benchmark, lambda: oracle_validation(quick_setup, app="comd", probes=5))
+    record("oracle_validation", result.render())
+    # The shuffled pre-execution must predict the coherent re-execution
+    # to within a few percent (paper reaches 97.6% with 10 processes).
+    assert result.accuracy > 0.93

@@ -1,0 +1,14 @@
+"""TABLE I: hardware storage overhead per predictor instance."""
+
+from repro.analysis.experiments import tab1_storage
+
+from harness import record, run_once
+
+
+def test_tab1_storage(benchmark):
+    result = run_once(benchmark, tab1_storage)
+    record("tab1_storage", result.render())
+    # Shape: PCSTALL needs the most state (table + per-wave registers),
+    # exactly 328 B as in the paper; STALL the least.
+    assert result.bytes_per_design["PCSTALL"] == 328
+    assert result.bytes_per_design["STALL"] < result.bytes_per_design["CRISP"]

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Co-location: why per-CU V/f domains matter for space-shared GPUs.
+
+Pins a compute-bound tenant (hacc) to half the CUs and a memory-bound
+tenant (xsbench) to the other half, then compares per-CU V/f domains
+against a single chip-wide domain under the same PCSTALL controller.
+
+With fine domains the controller gives each tenant its own frequency;
+with one coarse domain it must split the difference — hurting both.
+
+Run:  python examples/colocation.py
+"""
+
+from dataclasses import replace
+
+from repro import make_controller, small_config
+from repro.analysis.report import format_table
+from repro.core import EDnPObjective
+from repro.dvfs.colocation import ColocationSimulation, Tenant
+from repro.workloads import build_workload, workload
+
+
+def run(cfg, cus_per_domain):
+    c = replace(cfg, gpu=replace(cfg.gpu, cus_per_domain=cus_per_domain))
+    tenants = [
+        Tenant("hacc", build_workload(workload("hacc"), scale=0.55), (0, 1)),
+        Tenant("xsbench", build_workload(workload("xsbench"), scale=0.12), (2, 3)),
+    ]
+    controller = make_controller("PCSTALL", c, EDnPObjective(2))
+    result = ColocationSimulation(tenants, controller, c, max_epochs=800).run()
+    freqs = controller.log.chosen_freqs
+    # Mean frequency experienced by each tenant's first CU's domain.
+    per = c.gpu.cus_per_domain
+    mean_f = {
+        "hacc": sum(e[0 // per] for e in freqs) / len(freqs),
+        "xsbench": sum(e[2 // per] for e in freqs) / len(freqs),
+    }
+    return result, mean_f
+
+
+def main() -> None:
+    cfg = small_config(n_cus=4, waves_per_cu=8)
+    rows = []
+    for per, label in ((1, "per-CU domains"), (4, "one chip-wide domain")):
+        result, mean_f = run(cfg, per)
+        rows.append([
+            label,
+            result.energy.total,
+            result.completion_ns["hacc"] / 1e3,
+            result.completion_ns["xsbench"] / 1e3,
+            result.ed2p,
+            mean_f["hacc"],
+            mean_f["xsbench"],
+        ])
+    base = rows[0][4]
+    for r in rows:
+        r.append(r[4] / base)
+    print(format_table(
+        ["granularity", "energy", "hacc done (us)", "xsb done (us)", "ED2P",
+         "f(hacc)", "f(xsb)", "ED2P rel"],
+        rows,
+        title="hacc + xsbench co-located on 4 CUs under PCSTALL",
+    ))
+    print("\nPer-CU domains let the compute tenant run fast while the "
+          "memory tenant saves energy at 1.3 GHz; a chip-wide domain "
+          "forces one compromise frequency on both.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Datacenter scenario: pick a DVFS design for a mixed HPC+MI node.
+
+Sweeps several deployment questions a datacenter operator would ask:
+
+1. Which design minimises ED2P across a mixed workload set?
+2. How much energy can be saved under a strict (5%) QoS slowdown cap?
+3. What happens if the board only supports coarse V/f domains?
+
+Run:  python examples/datacenter_sweep.py
+"""
+
+from dataclasses import replace
+
+from repro import DvfsSimulation, make_controller, small_config
+from repro.analysis.report import format_table, geometric_mean
+from repro.core import EDnPObjective, PerformanceCapObjective
+from repro.workloads import build_workload, workload
+
+MIX = ("hacc", "xsbench", "dgemm", "BwdPool")  # HPC + MI node mix
+DESIGNS = ("STATIC@1.7", "CRISP", "PCSTALL")
+
+
+def run(design, cfg, name, objective):
+    kernels = build_workload(workload(name), scale=0.3)
+    ctrl = make_controller(design, cfg, objective)
+    return DvfsSimulation(
+        kernels, ctrl, cfg, design_name=design, workload_name=name,
+        max_epochs=300, oracle_sample_freqs=4,
+    ).run()
+
+
+def question_1(cfg):
+    print("Q1: which design minimises ED2P on the node mix?\n")
+    base = {w: run("STATIC@1.7", cfg, w, EDnPObjective(2)) for w in MIX}
+    rows = []
+    for design in DESIGNS:
+        ratios = []
+        for w in MIX:
+            r = run(design, cfg, w, EDnPObjective(2))
+            ratios.append(r.ed2p / base[w].ed2p)
+        rows.append([design] + ratios + [geometric_mean(ratios)])
+    print(format_table(["design"] + list(MIX) + ["GEOMEAN"], rows,
+                       title="ED2P normalised to static 1.7 GHz"))
+    print()
+
+
+def question_2(cfg):
+    print("Q2: energy saved under a 5% slowdown budget (vs 2.2 GHz)?\n")
+    base = {w: run(f"STATIC@{cfg.dvfs.f_max}", cfg, w, EDnPObjective(2)) for w in MIX}
+    rows = []
+    for design in ("CRISP", "PCSTALL"):
+        e_ratios, d_ratios = [], []
+        for w in MIX:
+            r = run(design, cfg, w, PerformanceCapObjective(0.05))
+            e_ratios.append(r.energy.total / base[w].energy.total)
+            d_ratios.append(r.delay_ns / base[w].delay_ns)
+        rows.append([
+            design,
+            f"{1 - geometric_mean(e_ratios):.1%}",
+            f"{geometric_mean(d_ratios) - 1:.1%}",
+        ])
+    print(format_table(["design", "energy saved", "slowdown"], rows))
+    print()
+
+
+def question_3(cfg):
+    print("Q3: is fine-grain hardware worth it? (per-CU vs whole-GPU domain)\n")
+    rows = []
+    for cus_per_domain in (1, cfg.gpu.n_cus):
+        coarse_cfg = replace(cfg, gpu=replace(cfg.gpu, cus_per_domain=cus_per_domain))
+        ratios = []
+        for w in MIX:
+            base = run("STATIC@1.7", coarse_cfg, w, EDnPObjective(2))
+            r = run("PCSTALL", coarse_cfg, w, EDnPObjective(2))
+            ratios.append(r.ed2p / base.ed2p)
+        label = "per-CU domains" if cus_per_domain == 1 else "single GPU domain"
+        rows.append([label, geometric_mean(ratios)])
+    print(format_table(["V/f granularity", "PCSTALL ED2P (norm)"], rows))
+
+
+def main() -> None:
+    cfg = small_config(n_cus=4, waves_per_cu=8)
+    question_1(cfg)
+    question_2(cfg)
+    question_3(cfg)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Phase explorer: reproduce the paper's workload-analysis methodology.
+
+Profiles a workload with the fork-and-pre-execute oracle and reports the
+three observations PCSTALL is built on (Sections 3.2-4.3):
+
+* instructions committed are ~linear in frequency (Figure 5),
+* sensitivity varies strongly across consecutive 1us epochs (Figure 7),
+* epochs starting at the same wavefront PC repeat their sensitivity far
+  better (Figure 10).
+
+Run:  python examples/phase_explorer.py [workload]
+"""
+
+import sys
+
+from repro import small_config
+from repro.analysis.linearity import linearity_study
+from repro.analysis.phases import (
+    consecutive_epoch_change,
+    profile_sensitivity,
+    same_pc_iteration_change,
+)
+from repro.analysis.report import format_table
+from repro.workloads import build_workload, workload, workload_names
+
+
+def sparkline(series, width=48):
+    """Render a sensitivity series as a coarse ASCII profile."""
+    if not series:
+        return ""
+    top = max(max(series), 1e-9)
+    glyphs = " .:-=+*#%@"
+    cells = series[:width]
+    return "".join(glyphs[min(9, int(9 * v / top))] for v in cells)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "BwdBN"
+    if name not in workload_names():
+        raise SystemExit(f"unknown workload {name!r}; choose from {workload_names()}")
+
+    cfg = small_config()
+    kernels = build_workload(workload(name), scale=0.3)
+
+    print(f"=== {name}: fine-grain phase analysis (1us epochs) ===\n")
+
+    # Figure 5: linearity of I(f).
+    lin = linearity_study(kernels, cfg, sample_epochs=(2, 5, 9, 14), max_epochs=18)
+    print(f"Linearity of instructions vs frequency: mean R^2 = "
+          f"{lin.mean_r_squared:.2f} (paper: 0.82)\n")
+
+    # Oracle-profiled sensitivity trace.
+    trace = profile_sensitivity(kernels, cfg, max_epochs=30, workload_name=name)
+
+    print("Per-CU sensitivity over time (each row one CU, dark = sensitive):")
+    for cu in range(cfg.gpu.n_cus):
+        print(f"  CU{cu}: |{sparkline(trace.cu_series(cu))}|")
+    print()
+
+    rows = [
+        ["consecutive epochs (CU)", consecutive_epoch_change(trace, "cu")],
+        ["consecutive epochs (wavefront)", consecutive_epoch_change(trace, "wf")],
+        ["same-PC iterations (wavefront)", same_pc_iteration_change(trace, "wf")],
+        ["same-PC iterations (CU-shared)", same_pc_iteration_change(trace, "cu")],
+        ["same-PC iterations (GPU-shared)", same_pc_iteration_change(trace, "gpu")],
+    ]
+    print(format_table(
+        ["measurement", "avg relative change"], rows,
+        title="Variability (paper: consecutive ~0.37, same-PC ~0.10)",
+    ))
+    print("\nThe gap between the last three rows and the first two is why a "
+          "PC-indexed predictor beats any reactive scheme: the starting PC "
+          "identifies the upcoming work segment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro: a reproduction of "Predict; Don't React for Enabling Efficient
+Fine-Grain DVFS in GPUs" (PCSTALL, ASPLOS 2023).
+
+Public API tour:
+
+* :mod:`repro.config` - platform configuration (``small_config`` /
+  ``paper_config``).
+* :mod:`repro.gpu` - the GPU timing-simulator substrate.
+* :mod:`repro.power` - power/energy model.
+* :mod:`repro.core` - sensitivity metric, estimation models, the PC
+  table, predictors, objectives, controller.
+* :mod:`repro.dvfs` - the fork-and-pre-execute oracle, design registry,
+  end-to-end simulation.
+* :mod:`repro.workloads` - the 16-app synthetic suite.
+* :mod:`repro.analysis` - experiment drivers for every paper figure.
+
+Quickstart::
+
+    from repro import small_config, make_controller, DvfsSimulation
+    from repro.workloads import workload, build_workload
+    from repro.core import EDnPObjective
+
+    cfg = small_config()
+    kernels = build_workload(workload("comd"), scale=0.5)
+    ctrl = make_controller("PCSTALL", cfg, EDnPObjective(2))
+    result = DvfsSimulation(kernels, ctrl, cfg).run()
+    print(result.ed2p, result.prediction_accuracy)
+"""
+
+from repro.config import (
+    DvfsConfig,
+    GpuConfig,
+    MemoryConfig,
+    PowerConfig,
+    SimConfig,
+    default_frequency_grid,
+    paper_config,
+    small_config,
+)
+from repro.dvfs import DESIGN_NAMES, DvfsSimulation, OracleSampler, make_controller
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DvfsConfig",
+    "GpuConfig",
+    "MemoryConfig",
+    "PowerConfig",
+    "SimConfig",
+    "default_frequency_grid",
+    "paper_config",
+    "small_config",
+    "DESIGN_NAMES",
+    "DvfsSimulation",
+    "OracleSampler",
+    "make_controller",
+    "__version__",
+]

@@ -1,0 +1,109 @@
+"""Export/import of simulation traces (CSV and JSON).
+
+Lets users post-process runs in pandas/matplotlib without re-simulating:
+
+* :func:`run_result_to_dict` / :func:`save_run_json` - one DVFS run's
+  summary (energy breakdown, residency, accuracy, ...).
+* :func:`trace_to_rows` / :func:`save_trace_csv` - a
+  :class:`~repro.analysis.phases.SensitivityTrace` as flat per-epoch
+  (and per-wavefront) rows.
+* :func:`load_trace_csv` - round-trip the per-epoch rows back.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Dict, List, Tuple, Union
+
+from repro.analysis.phases import SensitivityTrace
+from repro.dvfs.simulation import RunResult
+
+PathLike = Union[str, pathlib.Path]
+
+
+def run_result_to_dict(result: RunResult) -> Dict:
+    """JSON-serialisable summary of one DVFS run."""
+    return {
+        "design": result.design,
+        "workload": result.workload,
+        "epochs": result.epochs,
+        "delay_ns": result.delay_ns,
+        "energy": {
+            "total": result.energy.total,
+            "cu": result.energy.cu_dynamic_and_leakage,
+            "memory": result.energy.memory,
+            "transitions": result.energy.transitions,
+        },
+        "edp": result.edp,
+        "ed2p": result.ed2p,
+        "prediction_accuracy": result.prediction_accuracy,
+        "pc_hit_ratio": result.pc_hit_ratio,
+        "total_committed": result.total_committed,
+        "total_transitions": result.total_transitions,
+        "frequency_residency": {
+            f"{f:.2f}": share for f, share in result.frequency_residency.items()
+        },
+    }
+
+
+def save_run_json(result: RunResult, path: PathLike) -> None:
+    pathlib.Path(path).write_text(json.dumps(run_result_to_dict(result), indent=2))
+
+
+def load_run_json(path: PathLike) -> Dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+
+EPOCH_FIELDS = ("epoch", "level", "unit", "slope", "commits")
+
+
+def trace_to_rows(trace: SensitivityTrace) -> List[Tuple]:
+    """Flatten a sensitivity trace to (epoch, level, unit, slope, commits)."""
+    rows: List[Tuple] = []
+    for e in trace.epochs:
+        for cu, slope in enumerate(e.cu_slopes):
+            commits = e.cu_commits[cu] if cu < len(e.cu_commits) else ""
+            rows.append((e.index, "cu", cu, slope, commits))
+        for d, slope in enumerate(e.domain_slopes):
+            rows.append((e.index, "domain", d, slope, ""))
+        for w in e.waves:
+            rows.append((e.index, "wf", w.wf_id, w.slope, w.committed))
+    return rows
+
+
+def save_trace_csv(trace: SensitivityTrace, path: PathLike) -> None:
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(EPOCH_FIELDS)
+        writer.writerows(trace_to_rows(trace))
+
+
+def load_trace_csv(path: PathLike) -> List[Dict]:
+    """Rows back as dicts (numbers parsed)."""
+    out: List[Dict] = []
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            out.append(
+                {
+                    "epoch": int(row["epoch"]),
+                    "level": row["level"],
+                    "unit": int(row["unit"]),
+                    "slope": float(row["slope"]),
+                    "commits": int(row["commits"]) if row["commits"] else None,
+                }
+            )
+    return out
+
+
+__all__ = [
+    "run_result_to_dict",
+    "save_run_json",
+    "load_run_json",
+    "trace_to_rows",
+    "save_trace_csv",
+    "load_trace_csv",
+]

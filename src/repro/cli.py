@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      - run one workload under one design, print the summary.
+* ``compare``  - run several designs on one workload, print a table.
+* ``suite``    - list the workload suite (TABLE II).
+* ``designs``  - list the design registry (TABLE III + extensions).
+* ``profile``  - oracle-profile a workload's sensitivity trace, export CSV.
+* ``storage``  - print the TABLE I storage-overhead model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.config import small_config
+from repro.core.objectives import EDnPObjective, PerformanceCapObjective
+from repro.dvfs.designs import DESIGN_NAMES, EXTENSION_DESIGNS, make_controller
+from repro.dvfs.simulation import DvfsSimulation
+from repro.workloads import WORKLOADS, build_workload, workload, workload_names
+
+
+def _objective(args):
+    if args.objective.startswith("ed") and args.objective.endswith("p"):
+        return EDnPObjective(int(args.objective[2:-1] or 1))
+    if args.objective.startswith("cap"):
+        return PerformanceCapObjective(float(args.objective[3:]) / 100.0)
+    raise SystemExit(f"unknown objective {args.objective!r} (use ed1p/ed2p/capN)")
+
+
+def _config(args):
+    return small_config(
+        n_cus=args.cus,
+        waves_per_cu=args.waves,
+        epoch_ns=args.epoch_us * 1000.0,
+        cus_per_domain=args.cus_per_domain,
+    )
+
+
+def _run_one(args, design: str):
+    cfg = _config(args)
+    kernels = build_workload(workload(args.workload), scale=args.scale)
+    ctrl = make_controller(design, cfg, _objective(args))
+    sim = DvfsSimulation(
+        kernels, ctrl, cfg, design_name=design, workload_name=args.workload,
+        max_epochs=args.max_epochs, oracle_sample_freqs=4, collect_accuracy=True,
+    )
+    return sim.run()
+
+
+def cmd_run(args) -> int:
+    r = _run_one(args, args.design)
+    rows = [
+        ["epochs", r.epochs],
+        ["delay (us)", r.delay_ns / 1e3],
+        ["energy", r.energy.total],
+        ["EDP", r.edp],
+        ["ED2P", r.ed2p],
+        ["accuracy", r.prediction_accuracy if r.prediction_accuracy is not None else "-"],
+        ["PC hit ratio", r.pc_hit_ratio if r.pc_hit_ratio is not None else "-"],
+        ["transitions", r.total_transitions],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.workload} under {args.design}"))
+    if args.json:
+        from repro.analysis.trace_io import save_run_json
+
+        save_run_json(r, args.json)
+        print(f"\nsummary written to {args.json}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    designs = args.designs.split(",")
+    rows = []
+    baseline = None
+    for d in designs:
+        r = _run_one(args, d)
+        if baseline is None:
+            baseline = r
+        rows.append([
+            d, r.delay_ns / 1e3, r.energy.total, r.ed2p / baseline.ed2p,
+            "-" if r.prediction_accuracy is None else f"{r.prediction_accuracy:.3f}",
+        ])
+    print(format_table(
+        ["design", "delay (us)", "energy", f"ED2P vs {designs[0]}", "accuracy"],
+        rows, title=f"{args.workload}: design comparison",
+    ))
+    return 0
+
+
+def cmd_suite(_args) -> int:
+    rows = [
+        [name, spec.category, len(spec.kernels), spec.description]
+        for name, spec in WORKLOADS.items()
+    ]
+    print(format_table(["workload", "category", "kernels", "description"], rows,
+                       title="TABLE II workload suite"))
+    return 0
+
+
+def cmd_designs(_args) -> int:
+    rows = [[d, "TABLE III"] for d in DESIGN_NAMES]
+    rows += [[d, "extension"] for d in EXTENSION_DESIGNS]
+    rows.append(["STATIC@<f>", "baseline (any grid frequency)"])
+    print(format_table(["design", "origin"], rows, title="Design registry"))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.analysis.phases import (
+        consecutive_epoch_change,
+        profile_sensitivity,
+        same_pc_iteration_change,
+    )
+
+    from repro.analysis.report import sparkline
+
+    cfg = _config(args)
+    kernels = build_workload(workload(args.workload), scale=args.scale)
+    trace = profile_sensitivity(
+        kernels, cfg, max_epochs=args.max_epochs, workload_name=args.workload
+    )
+    print(f"{args.workload}: per-CU sensitivity over time (dark = sensitive)")
+    for cu in range(cfg.gpu.n_cus):
+        print(f"  CU{cu}: |{sparkline(trace.cu_series(cu))}|")
+    print()
+    rows = [
+        ["epochs profiled", len(trace.epochs)],
+        ["consecutive change (CU)", consecutive_epoch_change(trace, "cu")],
+        ["same-PC change (WF)", same_pc_iteration_change(trace, "wf")],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.workload} sensitivity profile"))
+    if args.csv:
+        from repro.analysis.trace_io import save_trace_csv
+
+        save_trace_csv(trace, args.csv)
+        print(f"\ntrace written to {args.csv}")
+    return 0
+
+
+def cmd_storage(_args) -> int:
+    from repro.analysis.experiments import tab1_storage
+
+    print(tab1_storage().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp, workload_arg=True):
+        if workload_arg:
+            sp.add_argument("workload", choices=workload_names())
+        sp.add_argument("--cus", type=int, default=4)
+        sp.add_argument("--waves", type=int, default=8)
+        sp.add_argument("--cus-per-domain", type=int, default=1)
+        sp.add_argument("--epoch-us", type=float, default=1.0)
+        sp.add_argument("--scale", type=float, default=0.4)
+        sp.add_argument("--max-epochs", type=int, default=400)
+        sp.add_argument("--objective", default="ed2p",
+                        help="ed1p | ed2p | capN (N%% degradation cap)")
+
+    sp = sub.add_parser("run", help="run one workload under one design")
+    common(sp)
+    sp.add_argument("--design", default="PCSTALL")
+    sp.add_argument("--json", help="write the run summary to this JSON file")
+    sp.set_defaults(fn=cmd_run)
+
+    sp = sub.add_parser("compare", help="compare designs on one workload")
+    common(sp)
+    sp.add_argument("--designs", default="STATIC@1.7,CRISP,PCSTALL")
+    sp.set_defaults(fn=cmd_compare)
+
+    sp = sub.add_parser("suite", help="list the workload suite")
+    sp.set_defaults(fn=cmd_suite)
+
+    sp = sub.add_parser("designs", help="list the design registry")
+    sp.set_defaults(fn=cmd_designs)
+
+    sp = sub.add_parser("profile", help="oracle-profile a workload")
+    common(sp)
+    sp.add_argument("--csv", help="write the per-epoch trace to this CSV file")
+    sp.set_defaults(fn=cmd_profile)
+
+    sp = sub.add_parser("storage", help="print TABLE I storage overheads")
+    sp.set_defaults(fn=cmd_storage)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: frequency-sensitivity estimation,
+PC-indexed prediction (PCSTALL), objectives and the DVFS controller."""
+
+from repro.core.sensitivity import LinearSensitivity, fit_linear, aggregate
+from repro.core.estimators import (
+    EstimationModel,
+    StallModel,
+    LeadingLoadModel,
+    CriticalPathModel,
+    CrispModel,
+    WavefrontStallModel,
+    WavefrontEstimate,
+)
+from repro.core.pc_table import PCTable, PCTableConfig
+from repro.core.predictors import (
+    Predictor,
+    ReactivePredictor,
+    PCBasedPredictor,
+    AccurateReactivePredictor,
+    AccuratePCPredictor,
+    PhaseHistoryPredictor,
+    OraclePredictor,
+    StaticPredictor,
+)
+from repro.core.objectives import (
+    Objective,
+    EDnPObjective,
+    PerformanceCapObjective,
+    QoSDeadlineObjective,
+    StaticObjective,
+)
+from repro.core.controller import DvfsController
+from repro.core.hardware import storage_overhead_bytes, STORAGE_TABLE
+
+__all__ = [
+    "LinearSensitivity",
+    "fit_linear",
+    "aggregate",
+    "EstimationModel",
+    "StallModel",
+    "LeadingLoadModel",
+    "CriticalPathModel",
+    "CrispModel",
+    "WavefrontStallModel",
+    "WavefrontEstimate",
+    "PCTable",
+    "PCTableConfig",
+    "Predictor",
+    "ReactivePredictor",
+    "PCBasedPredictor",
+    "AccurateReactivePredictor",
+    "AccuratePCPredictor",
+    "PhaseHistoryPredictor",
+    "OraclePredictor",
+    "StaticPredictor",
+    "Objective",
+    "EDnPObjective",
+    "PerformanceCapObjective",
+    "QoSDeadlineObjective",
+    "StaticObjective",
+    "DvfsController",
+    "storage_overhead_bytes",
+    "STORAGE_TABLE",
+]

@@ -1,0 +1,133 @@
+"""The per-domain DVFS manager (Section 5): predict -> select -> apply.
+
+At every epoch boundary the controller feeds the elapsed epoch to its
+predictor, asks it for next-epoch sensitivity lines, and lets the
+objective choose each domain's frequency. It also keeps the bookkeeping
+the evaluation needs: the last predictions (for the accuracy metric) and
+per-frequency residency (Figure 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SimConfig
+from repro.core.objectives import Objective, ObjectiveContext
+from repro.core.predictors import ObserveContext, Predictor
+from repro.core.sensitivity import LinearSensitivity
+from repro.gpu.gpu import EpochResult
+from repro.power.model import PowerModel
+
+
+@dataclass
+class ControllerLog:
+    """What the controller believed and chose, per epoch."""
+
+    chosen_freqs: List[List[float]] = field(default_factory=list)
+    predictions: List[List[Optional[LinearSensitivity]]] = field(default_factory=list)
+
+    def frequency_residency(self, freq_grid: Sequence[float]) -> Dict[float, float]:
+        """Fraction of (domain, epoch) decisions spent at each frequency."""
+        counts = {f: 0 for f in freq_grid}
+        total = 0
+        for epoch in self.chosen_freqs:
+            for f in epoch:
+                counts[f] = counts.get(f, 0) + 1
+                total += 1
+        if not total:
+            return {f: 0.0 for f in freq_grid}
+        return {f: counts.get(f, 0) / total for f in freq_grid}
+
+
+class DvfsController:
+    """Drives one predictor + objective over all V/f domains."""
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        objective: Objective,
+        sim_config: SimConfig,
+        power_model: Optional[PowerModel] = None,
+    ) -> None:
+        self.predictor = predictor
+        self.objective = objective
+        self.config = sim_config
+        self.power = power_model or PowerModel(sim_config.power)
+        self.log = ControllerLog()
+        n_domains = sim_config.gpu.n_domains
+        mem_power = self.power.memory_power(sim_config.gpu.memory.n_l2_banks)
+        self._ctx = ObjectiveContext(
+            power=self.power,
+            epoch_ns=sim_config.dvfs.epoch_ns,
+            n_cus_in_domain=sim_config.gpu.cus_per_domain,
+            issue_width=sim_config.gpu.issue_width,
+            memory_power_share=mem_power / n_domains,
+            reference_freq_ghz=sim_config.dvfs.reference_freq_ghz,
+        )
+        self._current: List[float] = [sim_config.dvfs.reference_freq_ghz] * n_domains
+
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        result: EpochResult,
+        true_domain_lines: Optional[List[LinearSensitivity]] = None,
+    ) -> None:
+        """Digest the elapsed epoch (runs the predictor's update path)."""
+        ctx = ObserveContext(
+            config=self.config.gpu,
+            f_lo_ghz=self.config.dvfs.f_min,
+            f_hi_ghz=self.config.dvfs.f_max,
+            true_domain_lines=true_domain_lines,
+        )
+        self.predictor.observe(result, ctx)
+        per = self.config.gpu.cus_per_domain
+        for d in range(self.config.gpu.n_domains):
+            commits = sum(
+                result.cu_stats[cu].committed for cu in range(d * per, (d + 1) * per)
+            )
+            self.objective.observe_epoch(
+                d, self._measured_domain_power(result, d), commits
+            )
+
+    def _measured_domain_power(self, result: EpochResult, domain: int) -> float:
+        """Actual wall power of a domain over the elapsed epoch, plus its
+        share of the constant memory power (feedback for the adaptive
+        ED^nP delay weight)."""
+        gpu_cfg = self.config.gpu
+        f = result.frequencies_ghz[domain]
+        cycles = result.duration_ns * f
+        slots = cycles * gpu_cfg.issue_width
+        total = 0.0
+        per = gpu_cfg.cus_per_domain
+        for cu_id in range(domain * per, (domain + 1) * per):
+            issued = result.cu_stats[cu_id].issued
+            activity = min(1.0, issued / slots) if slots > 0 else 0.0
+            total += self.power.cu_power(f, activity)
+        return total + self._ctx.memory_power_share
+
+    def decide(self) -> List[float]:
+        """Frequencies for the next epoch, one per domain."""
+        predictions = self.predictor.predict_domains()
+        grid = self.config.dvfs.frequencies_ghz
+        chosen: List[float] = []
+        for d, line in enumerate(predictions):
+            f = self.objective.choose(line, grid, self._current[d], self._ctx, domain=d)
+            chosen.append(f)
+        self._current = chosen
+        self.log.chosen_freqs.append(list(chosen))
+        self.log.predictions.append(list(predictions))
+        return chosen
+
+    @property
+    def current_frequencies(self) -> List[float]:
+        return list(self._current)
+
+    def last_predictions(self) -> List[Optional[LinearSensitivity]]:
+        if not self.log.predictions:
+            return [None] * self.config.gpu.n_domains
+        return self.log.predictions[-1]
+
+
+__all__ = ["DvfsController", "ControllerLog"]

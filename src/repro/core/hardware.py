@@ -1,0 +1,104 @@
+"""Hardware storage-overhead model (TABLE I).
+
+Byte counts of the state each predictor design keeps per instance. The
+PCSTALL numbers follow the paper's accounting:
+
+* 128-entry sensitivity table with 1-byte quantised sensitivities
+  -> 128 B,
+* one starting-PC register per wavefront slot (index bits only: 7 bits
+  for 128 entries, rounded to a byte) x 40 slots -> 40 B,
+* one stall-time register per wavefront slot (4 B each) x 40 -> 160 B,
+
+for a total of 328 B per instance. The CU-level reactive models need
+only a handful of accumulator registers; CRISP keeps the most state of
+the prior models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class StorageBudget:
+    """Per-instance storage of one predictor design, in bytes."""
+
+    components: Dict[str, int]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.components.values())
+
+
+def pcstall_storage(
+    n_entries: int = 128,
+    entry_bytes: int = 1,
+    waves_per_cu: int = 40,
+    pc_register_bytes: int = 1,
+    stall_register_bytes: int = 4,
+) -> StorageBudget:
+    """PCSTALL storage for a given table geometry and CU occupancy."""
+    return StorageBudget(
+        {
+            "sensitivity_table": n_entries * entry_bytes,
+            "starting_pc_registers": waves_per_cu * pc_register_bytes,
+            "stall_time_registers": waves_per_cu * stall_register_bytes,
+        }
+    )
+
+
+def crisp_storage() -> StorageBudget:
+    """CRISP keeps store-stall, overlap, and critical-path accumulators."""
+    return StorageBudget(
+        {
+            "critical_path_timestamps": 24,
+            "store_stall_accumulator": 8,
+            "overlap_accumulator": 8,
+            "instruction_counters": 8,
+        }
+    )
+
+
+def crit_storage() -> StorageBudget:
+    return StorageBudget({"critical_path_timestamps": 24, "instruction_counters": 8})
+
+
+def lead_storage() -> StorageBudget:
+    return StorageBudget({"leading_load_accumulator": 8, "instruction_counters": 4})
+
+
+def stall_storage() -> StorageBudget:
+    return StorageBudget({"stall_accumulator": 4})
+
+
+#: TABLE I: per-instance storage of every evaluated design.
+STORAGE_TABLE: Dict[str, StorageBudget] = {
+    "PCSTALL": pcstall_storage(),
+    "CRISP": crisp_storage(),
+    "CRIT": crit_storage(),
+    "LEAD": lead_storage(),
+    "STALL": stall_storage(),
+}
+
+
+def storage_overhead_bytes(design: str) -> int:
+    """Total per-instance storage of a named design."""
+    try:
+        return STORAGE_TABLE[design].total_bytes
+    except KeyError:
+        raise KeyError(
+            f"unknown design {design!r}; known: {sorted(STORAGE_TABLE)}"
+        ) from None
+
+
+__all__ = [
+    "StorageBudget",
+    "STORAGE_TABLE",
+    "storage_overhead_bytes",
+    "pcstall_storage",
+    "crisp_storage",
+    "crit_storage",
+    "lead_storage",
+    "stall_storage",
+]

@@ -1,0 +1,150 @@
+"""The PC-indexed sensitivity table (Section 4.4, Figure 12).
+
+A small direct-mapped table indexed by wavefront PC. Entries hold the
+sensitivity line of the time epoch that *started* at that PC, written by
+the update mechanism after each epoch and read by the lookup mechanism
+just before the next epoch.
+
+The paper's tuning (Figure 11b and the hit-ratio study):
+
+* 4-bit PC offset -> ~4 instructions share an entry,
+* 128 entries -> covers 512 instructions, enough for the loop bodies of
+  typical GPU kernels with a 95%+ hit ratio.
+
+A table may be private to a CU or shared by many (the Figure 10 study
+shows sharing costs little accuracy); sharing is expressed by simply
+routing several CUs' updates/lookups to the same instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.sensitivity import LinearSensitivity
+
+
+@dataclass(frozen=True)
+class PCTableConfig:
+    """Geometry of the PC-indexed table."""
+
+    n_entries: int = 128
+    offset_bits: int = 4
+    instruction_bytes: int = 4
+    #: Exponential blending weight for updates; 1.0 = last-value
+    #: (the paper's behaviour), lower values smooth noisy estimates.
+    update_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_entries < 1:
+            raise ValueError("table needs at least one entry")
+        if self.offset_bits < 0:
+            raise ValueError("offset_bits must be non-negative")
+        if not 0.0 < self.update_weight <= 1.0:
+            raise ValueError("update_weight must be in (0, 1]")
+
+    @property
+    def instructions_per_entry(self) -> int:
+        return max(1, (1 << self.offset_bits) // self.instruction_bytes)
+
+    @property
+    def covered_instructions(self) -> int:
+        return self.n_entries * self.instructions_per_entry
+
+
+@dataclass
+class _Entry:
+    valid: bool = False
+    i0: float = 0.0
+    slope: float = 0.0
+    #: Pre-wrap PC key of the writer. The hardware table is tagless (the
+    #: paper stores index bits only) and uses aliased entries blindly;
+    #: the key exists purely for the simulator's hit-ratio accounting,
+    #: which is how the paper sized the table (128 entries -> 95%+ hits).
+    pc_key: int = -1
+
+
+class PCTable:
+    """Direct-mapped PC-indexed sensitivity store."""
+
+    def __init__(self, config: PCTableConfig = PCTableConfig()) -> None:
+        self.config = config
+        self._entries: List[_Entry] = [_Entry() for _ in range(config.n_entries)]
+        self.lookups = 0
+        self.hits = 0
+        self.updates = 0
+
+    def index_of(self, pc_bytes: int) -> int:
+        """Table index for a byte PC: drop offset bits, wrap modulo size."""
+        return (pc_bytes >> self.config.offset_bits) % self.config.n_entries
+
+    def index_of_instruction(self, pc_idx: int) -> int:
+        return self.index_of(pc_idx * self.config.instruction_bytes)
+
+    def _key_of_instruction(self, pc_idx: int) -> int:
+        """Pre-wrap PC key (all PC bits above the offset)."""
+        return (pc_idx * self.config.instruction_bytes) >> self.config.offset_bits
+
+    # ------------------------------------------------------------------
+
+    def update(self, pc_idx: int, line: LinearSensitivity) -> None:
+        """Store the estimate of the epoch that started at ``pc_idx``.
+
+        Update happens off the critical path (after the epoch); with
+        ``update_weight == 1`` the entry is simply overwritten
+        (last-value semantics, as in the paper).
+        """
+        entry = self._entries[self.index_of_instruction(pc_idx)]
+        key = self._key_of_instruction(pc_idx)
+        w = self.config.update_weight
+        if entry.valid and entry.pc_key == key and w < 1.0:
+            entry.i0 = (1 - w) * entry.i0 + w * line.i0
+            entry.slope = (1 - w) * entry.slope + w * line.slope
+        else:
+            entry.i0 = line.i0
+            entry.slope = line.slope
+        entry.valid = True
+        entry.pc_key = key
+        self.updates += 1
+
+    def lookup(self, pc_idx: int) -> Optional[LinearSensitivity]:
+        """Predicted sensitivity for an epoch starting at ``pc_idx``.
+
+        Returns None on a miss (invalid entry); callers fall back to a
+        reactive estimate for that wavefront. A valid entry written by a
+        *different* (aliasing) PC is still returned - the hardware table
+        is tagless - but does not count as a hit, matching how the paper
+        sized the table by hit ratio.
+        """
+        self.lookups += 1
+        entry = self._entries[self.index_of_instruction(pc_idx)]
+        if not entry.valid:
+            return None
+        if entry.pc_key == self._key_of_instruction(pc_idx):
+            self.hits += 1
+        return LinearSensitivity(entry.i0, entry.slope)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def occupancy(self) -> float:
+        valid = sum(1 for e in self._entries if e.valid)
+        return valid / len(self._entries)
+
+    def invalidate(self) -> None:
+        """Flush the table (e.g. at a kernel boundary, optional)."""
+        for e in self._entries:
+            e.valid = False
+            e.pc_key = -1
+
+    def reset_counters(self) -> None:
+        self.lookups = 0
+        self.hits = 0
+        self.updates = 0
+
+
+__all__ = ["PCTable", "PCTableConfig"]

@@ -1,0 +1,29 @@
+"""DVFS orchestration: the fork-and-pre-execute oracle, the TABLE III
+design registry, and the end-to-end epoch-driven simulation loop."""
+
+from repro.dvfs.oracle import OracleSampler, OracleSample
+from repro.dvfs.designs import (
+    DESIGN_NAMES,
+    EXTENSION_DESIGNS,
+    make_controller,
+    static_design_name,
+)
+from repro.dvfs.colocation import ColocationSimulation, ColocationResult, Tenant
+from repro.dvfs.hierarchy import HierarchicalPowerManager, PowerManagedObjective
+from repro.dvfs.simulation import DvfsSimulation, RunResult
+
+__all__ = [
+    "OracleSampler",
+    "OracleSample",
+    "DESIGN_NAMES",
+    "EXTENSION_DESIGNS",
+    "make_controller",
+    "static_design_name",
+    "HierarchicalPowerManager",
+    "PowerManagedObjective",
+    "ColocationSimulation",
+    "ColocationResult",
+    "Tenant",
+    "DvfsSimulation",
+    "RunResult",
+]

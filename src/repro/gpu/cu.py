@@ -1,0 +1,315 @@
+"""Compute Unit: oldest-first wavefront scheduling, event-driven timing.
+
+Each CU holds up to ``waves_per_cu`` resident wavefronts and issues up to
+``issue_width`` instructions per cycle from the oldest ready wavefronts
+("oldest-first" scheduling, the policy the paper attributes the
+inter-wavefront contention profile to, Section 4.3 / Figure 11a).
+
+The CU runs event-driven: when at least one wavefront is ready it advances
+cycle by cycle; when everything is stalled on memory it jumps straight to
+the next completion. Compute cycles cost ``1/f`` ns (frequency-dependent);
+L1 hits are served inside the CU's V/f domain (cycles); L1 misses go to
+the shared :class:`~repro.gpu.memory.MemorySubsystem` (fixed-frequency
+nanoseconds).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import GpuConfig
+from repro.gpu.isa import InstructionKind, Program
+from repro.gpu.memory import MemorySubsystem
+from repro.gpu.wavefront import Wavefront
+
+#: A pending workgroup: tuple of (workgroup_id, wave_in_group, program).
+PendingWave = Tuple[int, int, Program]
+
+
+@dataclass
+class CuEpochStats:
+    """CU-level per-epoch aggregates (inputs to CU-level models & power)."""
+
+    committed: int = 0
+    committed_compute: int = 0
+    committed_memory: int = 0
+    issued: int = 0
+    active_cycles: int = 0
+    #: Time (ns) during which at least one wavefront was executing or
+    #: ready to execute (not blocked on memory/barriers). The interval
+    #: models use this as the CU's core time: the remainder of the epoch
+    #: is asynchronous (memory) time.
+    core_busy_ns: float = 0.0
+    loads: int = 0
+    stores: int = 0
+
+    def reset(self) -> None:
+        self.committed = 0
+        self.committed_compute = 0
+        self.committed_memory = 0
+        self.issued = 0
+        self.active_cycles = 0
+        self.core_busy_ns = 0.0
+        self.loads = 0
+        self.stores = 0
+
+    def clone(self) -> "CuEpochStats":
+        out = CuEpochStats()
+        out.__dict__.update(self.__dict__)
+        return out
+
+
+class ComputeUnit:
+    """One compute unit of the GPU."""
+
+    def __init__(self, cu_id: int, config: GpuConfig) -> None:
+        self.cu_id = cu_id
+        self.config = config
+        self.frequency_ghz = 1.7
+        self.now = 0.0
+        self.epoch_start = 0.0
+        #: Resident wavefronts in age order (oldest first).
+        self.waves: List[Wavefront] = []
+        #: Pending workgroups waiting for free slots; each entry is the
+        #: full list of that workgroup's waves (dispatched atomically so
+        #: barriers cannot deadlock).
+        self.pending_workgroups: List[Tuple[PendingWave, ...]] = []
+        #: Min-heap of (completion_ns, seq, wf_id, is_store).
+        self.completions: List[Tuple[float, int, int, bool]] = []
+        self._completion_seq = 0
+        #: wavefronts by id for completion delivery.
+        self.wave_by_id: Dict[int, Wavefront] = {}
+        #: Barrier arrival counts per workgroup id.
+        self.barrier_arrived: Dict[int, int] = {}
+        #: Alive (not ENDPGM'd) waves per workgroup id.
+        self.wg_alive: Dict[int, int] = {}
+        self._next_age = 0
+        self._next_wf_id = cu_id * 1_000_000
+        self.stats = CuEpochStats()
+        #: Time the most recent wavefront retired (completion tracking).
+        self.last_retire_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Dispatch
+
+    def enqueue_workgroup(self, waves: Sequence[PendingWave]) -> None:
+        self.pending_workgroups.append(tuple(waves))
+
+    def try_dispatch(self, now: float) -> None:
+        """Dispatch whole pending workgroups while slots allow."""
+        free = self.config.waves_per_cu - len(self.waves)
+        while self.pending_workgroups and len(self.pending_workgroups[0]) <= free:
+            group = self.pending_workgroups.pop(0)
+            for wg_id, wave_in_group, program in group:
+                wf = Wavefront(
+                    wf_id=self._next_wf_id,
+                    workgroup_id=wg_id,
+                    wave_in_group=wave_in_group,
+                    program=program,
+                    age=self._next_age,
+                    start_time=now,
+                )
+                wf.stats.reset(wf.pc_idx)
+                self._next_wf_id += 1
+                self._next_age += 1
+                self.waves.append(wf)
+                self.wave_by_id[wf.wf_id] = wf
+                self.wg_alive[wg_id] = self.wg_alive.get(wg_id, 0) + 1
+            free = self.config.waves_per_cu - len(self.waves)
+
+    @property
+    def idle(self) -> bool:
+        """No resident and no pending work."""
+        return not self.waves and not self.pending_workgroups
+
+    @property
+    def resident_wave_count(self) -> int:
+        return len(self.waves)
+
+    # ------------------------------------------------------------------
+    # Epoch control
+
+    def begin_epoch(self, epoch_start: float) -> None:
+        self.epoch_start = epoch_start
+        self.stats.reset()
+        for wf in self.waves:
+            wf.stats.reset(wf.pc_idx)
+
+    def settle_epoch(self, epoch_end: float) -> None:
+        """Charge in-progress stalls so epoch stats are complete."""
+        for wf in self.waves:
+            wf.settle_stall(epoch_end, self.epoch_start)
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def run_until(self, t_end: float, mem: MemorySubsystem) -> None:
+        """Advance this CU's local clock to ``t_end``."""
+        if self.now >= t_end:
+            self.now = t_end
+            return
+        cycle = 1.0 / self.frequency_ghz
+        issue_width = self.config.issue_width
+        now = self.now
+        while now < t_end:
+            self._deliver_completions(now)
+            issued = 0
+            for wf in self.waves:
+                if issued >= issue_width:
+                    break
+                if wf.is_ready(now):
+                    self._issue(wf, now, cycle, mem)
+                    issued += 1
+            if issued:
+                self.stats.issued += issued
+                self.stats.active_cycles += 1
+                self.stats.core_busy_ns += cycle
+                now += cycle
+                continue
+            nxt = self._next_wakeup(now, t_end)
+            if nxt <= now:
+                now += cycle
+                self.stats.core_busy_ns += cycle
+            else:
+                if any(not wf.done and not wf.blocked for wf in self.waves):
+                    # Waves are mid-pipeline (busy), not memory-blocked:
+                    # this gap is core time, not asynchronous time.
+                    self.stats.core_busy_ns += nxt - now
+                now = nxt
+        self.now = t_end
+
+    def _next_wakeup(self, now: float, t_end: float) -> float:
+        nxt = t_end
+        if self.completions and self.completions[0][0] < nxt:
+            nxt = self.completions[0][0]
+        for wf in self.waves:
+            if not wf.done and not wf.blocked and now < wf.ready_at < nxt:
+                nxt = wf.ready_at
+        return nxt
+
+    def _deliver_completions(self, now: float) -> None:
+        heap = self.completions
+        while heap and heap[0][0] <= now:
+            completion, _seq, wf_id, is_store = heapq.heappop(heap)
+            wf = self.wave_by_id.get(wf_id)
+            if wf is None:
+                continue
+            wf.note_mem_complete(is_store)
+            if wf.blocked_wait_target is not None and wf.waitcnt_satisfied():
+                wf.unblock_wait(completion, self.epoch_start)
+
+    def _issue(self, wf: Wavefront, now: float, cycle: float, mem: MemorySubsystem) -> None:
+        instr = wf.current_instruction()
+        kind = instr.kind
+        if kind is InstructionKind.VALU or kind is InstructionKind.SALU:
+            cost = instr.cycles * cycle
+            wf.ready_at = now + cost
+            wf.stats.busy_ns += cost
+            wf.stats.committed += 1
+            wf.stats.committed_compute += 1
+            self.stats.committed += 1
+            self.stats.committed_compute += 1
+            wf.advance_pc()
+        elif kind is InstructionKind.LOAD or kind is InstructionKind.STORE:
+            is_store = kind is InstructionKind.STORE
+            l1_hit, l2_hit, visit = wf.draw_hits(
+                wf.pc_idx, instr.l1_hit_rate, instr.l2_hit_rate, instr.pattern_jitter
+            )
+            if l1_hit:
+                completion = now + self.config.memory.l1_hit_cycles * cycle
+            else:
+                # Address-derived bank key: a pure function of which
+                # access this is, independent of global arrival order.
+                bank_key = wf.pc_idx * 131 + visit * 7 + wf.workgroup_id * 13 + wf.wave_in_group
+                completion = mem.request(now, l2_hit, bank_key).completion_ns
+            wf.note_mem_issue(now, completion, is_store)
+            self._completion_seq += 1
+            heapq.heappush(
+                self.completions, (completion, self._completion_seq, wf.wf_id, is_store)
+            )
+            cost = instr.cycles * cycle
+            wf.ready_at = now + cost
+            wf.stats.busy_ns += cost
+            wf.stats.committed += 1
+            wf.stats.committed_memory += 1
+            self.stats.committed += 1
+            self.stats.committed_memory += 1
+            if is_store:
+                self.stats.stores += 1
+            else:
+                self.stats.loads += 1
+            wf.advance_pc()
+        elif kind is InstructionKind.WAITCNT:
+            if wf.outstanding <= instr.wait_target:
+                wf.ready_at = now + cycle
+                wf.advance_pc()
+            else:
+                wf.block_wait(instr.wait_target, now)
+        elif kind is InstructionKind.BARRIER:
+            wg = wf.workgroup_id
+            wf.block_barrier(now)
+            arrived = self.barrier_arrived.get(wg, 0) + 1
+            self.barrier_arrived[wg] = arrived
+            if arrived >= self.wg_alive.get(wg, 0):
+                self._release_barrier(wg, now + cycle)
+        elif kind is InstructionKind.BRANCH:
+            wf.take_branch(wf.pc_idx, instr)
+            wf.ready_at = now + cycle
+            wf.stats.committed += 1
+            wf.stats.committed_compute += 1
+            self.stats.committed += 1
+            self.stats.committed_compute += 1
+        elif kind is InstructionKind.ENDPGM:
+            self._retire_wave(wf, now)
+        else:  # pragma: no cover - enum is closed
+            raise RuntimeError(f"unhandled instruction kind {kind}")
+
+    def _release_barrier(self, wg: int, release_time: float) -> None:
+        for other in self.waves:
+            if other.workgroup_id == wg and other.blocked_barrier:
+                other.unblock_barrier(release_time, self.epoch_start)
+        self.barrier_arrived[wg] = 0
+
+    def _retire_wave(self, wf: Wavefront, now: float) -> None:
+        wf.done = True
+        self.last_retire_time = now
+        wg = wf.workgroup_id
+        self.wg_alive[wg] = self.wg_alive.get(wg, 1) - 1
+        self.waves.remove(wf)
+        self.wave_by_id.pop(wf.wf_id, None)
+        if self.wg_alive[wg] <= 0:
+            self.wg_alive.pop(wg, None)
+            self.barrier_arrived.pop(wg, None)
+        elif self.barrier_arrived.get(wg, 0) >= self.wg_alive[wg] > 0:
+            # The retiring wave may have been the last one a barrier was
+            # waiting on.
+            self._release_barrier(wg, now)
+        self.try_dispatch(now)
+
+    # ------------------------------------------------------------------
+    # Snapshot
+
+    def clone(self) -> "ComputeUnit":
+        out = ComputeUnit.__new__(ComputeUnit)
+        out.cu_id = self.cu_id
+        out.config = self.config
+        out.frequency_ghz = self.frequency_ghz
+        out.now = self.now
+        out.epoch_start = self.epoch_start
+        out.waves = [wf.clone() for wf in self.waves]
+        out.pending_workgroups = list(self.pending_workgroups)
+        out.completions = list(self.completions)
+        out._completion_seq = self._completion_seq
+        out.wave_by_id = {wf.wf_id: wf for wf in out.waves}
+        out.barrier_arrived = dict(self.barrier_arrived)
+        out.wg_alive = dict(self.wg_alive)
+        out._next_age = self._next_age
+        out._next_wf_id = self._next_wf_id
+        out.stats = self.stats.clone()
+        out.last_retire_time = self.last_retire_time
+        return out
+
+
+__all__ = ["ComputeUnit", "CuEpochStats", "PendingWave"]

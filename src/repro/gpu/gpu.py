@@ -1,0 +1,226 @@
+"""Top-level GPU: CUs + shared memory + V/f domains, epoch stepping.
+
+The :class:`Gpu` orchestrates the CUs through fixed-time epochs. CUs in
+different V/f domains advance in interleaved time quanta so the shared
+memory subsystem observes requests in near-global-time order, which keeps
+inter-domain contention effects (Section 5.1) intact without a global
+per-cycle event queue.
+
+``Gpu.clone()`` produces a deterministic deep snapshot: running the clone
+and the original with the same frequencies yields bit-identical results.
+This is the substrate for the paper's fork-and-pre-execute oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import GpuConfig
+from repro.gpu.clock import DomainMap
+from repro.gpu.cu import ComputeUnit, CuEpochStats
+from repro.gpu.kernel import Kernel
+from repro.gpu.memory import MemorySubsystem
+from repro.gpu.wavefront import WavefrontStats
+
+
+@dataclass(frozen=True)
+class WaveEpochRecord:
+    """What one wavefront did during an epoch (input to PCSTALL)."""
+
+    wf_id: int
+    age_rank: int
+    start_pc_idx: int
+    next_pc_idx: int
+    stats: WavefrontStats
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """Everything observable about one elapsed epoch."""
+
+    t_start: float
+    t_end: float
+    frequencies_ghz: Tuple[float, ...]
+    cu_stats: Tuple[CuEpochStats, ...]
+    wave_records: Tuple[Tuple[WaveEpochRecord, ...], ...]
+    transitions: int
+
+    @property
+    def duration_ns(self) -> float:
+        return self.t_end - self.t_start
+
+    def committed_per_cu(self) -> List[int]:
+        return [s.committed for s in self.cu_stats]
+
+    def total_committed(self) -> int:
+        return sum(s.committed for s in self.cu_stats)
+
+
+class Gpu:
+    """The simulated GPU."""
+
+    def __init__(self, config: GpuConfig, initial_freq_ghz: float = 1.7) -> None:
+        self.config = config
+        self.memory = MemorySubsystem(config.memory)
+        self.cus = [ComputeUnit(i, config) for i in range(config.n_cus)]
+        self.domains = DomainMap(config, initial_freq_ghz)
+        for cu in self.cus:
+            cu.frequency_ghz = initial_freq_ghz
+        self.time = 0.0
+        self._pending_transitions = 0
+        self._next_wg_base = 0
+
+    # ------------------------------------------------------------------
+    # Workload loading
+
+    def load_kernel(self, kernel: Kernel, cu_ids: Optional[Sequence[int]] = None) -> None:
+        """Distribute the kernel's workgroups across CUs round-robin.
+
+        ``cu_ids`` restricts dispatch to a subset of CUs - the
+        co-location scenario where different tenants own different CUs
+        (and, with per-CU V/f domains, get independently tuned
+        frequencies). Workgroup ids are globally unique across loads so
+        concurrent kernels cannot collide in barrier bookkeeping.
+        """
+        targets = list(cu_ids) if cu_ids is not None else list(range(len(self.cus)))
+        for cu_id in targets:
+            if not 0 <= cu_id < len(self.cus):
+                raise ValueError(f"cu id {cu_id} out of range")
+        base = self._next_wg_base
+        for wg in range(kernel.geometry.n_workgroups):
+            cu = self.cus[targets[wg % len(targets)]]
+            waves = [
+                (base + wg, w, kernel.program_for(wg, w))
+                for w in range(kernel.geometry.waves_per_workgroup)
+            ]
+            cu.enqueue_workgroup(waves)
+        self._next_wg_base = base + kernel.geometry.n_workgroups
+        for cu in self.cus:
+            cu.try_dispatch(self.time)
+
+    @property
+    def done(self) -> bool:
+        return all(cu.idle for cu in self.cus)
+
+    def resident_wave_count(self) -> int:
+        return sum(cu.resident_wave_count for cu in self.cus)
+
+    @property
+    def completion_time(self) -> float:
+        """Time the last wavefront retired (valid once ``done``)."""
+        return max(cu.last_retire_time for cu in self.cus)
+
+    # ------------------------------------------------------------------
+    # Frequency control
+
+    def set_domain_frequencies(
+        self, freqs_ghz: Sequence[float], transition_latency_ns: float = 0.0
+    ) -> int:
+        """Apply per-domain frequencies for the next epoch.
+
+        A domain whose frequency actually changes is frozen for
+        ``transition_latency_ns`` (its CUs cannot issue until the V/f
+        transition settles). Returns the number of domains that changed.
+        """
+        if len(freqs_ghz) != len(self.domains):
+            raise ValueError(
+                f"expected {len(self.domains)} frequencies, got {len(freqs_ghz)}"
+            )
+        changed = 0
+        for domain, f in zip(self.domains, freqs_ghz):
+            if f != domain.frequency_ghz:
+                changed += 1
+                domain.frequency_ghz = f
+                domain.transitions += 1
+                for cu_id in domain.cu_ids:
+                    cu = self.cus[cu_id]
+                    cu.frequency_ghz = f
+                    if transition_latency_ns > 0.0:
+                        cu.now = max(cu.now, self.time + transition_latency_ns)
+        self._pending_transitions += changed
+        return changed
+
+    def domain_frequencies(self) -> List[float]:
+        return self.domains.frequencies()
+
+    # ------------------------------------------------------------------
+    # Epoch stepping
+
+    def run_epoch(self, epoch_ns: float) -> EpochResult:
+        """Advance all CUs by one fixed-time epoch and collect stats."""
+        t0 = self.time
+        t1 = t0 + epoch_ns
+        for cu in self.cus:
+            cu.begin_epoch(t0)
+        quantum = min(self.config.sync_quantum_ns, epoch_ns)
+        t = t0
+        while t < t1 - 1e-9:
+            t = min(t + quantum, t1)
+            for cu in self.cus:
+                cu.run_until(t, self.memory)
+        for cu in self.cus:
+            cu.settle_epoch(t1)
+        self.time = t1
+
+        wave_records: List[Tuple[WaveEpochRecord, ...]] = []
+        cu_stats: List[CuEpochStats] = []
+        for cu in self.cus:
+            records = tuple(
+                WaveEpochRecord(
+                    wf_id=wf.wf_id,
+                    age_rank=rank,
+                    start_pc_idx=wf.stats.epoch_start_pc_idx,
+                    next_pc_idx=wf.pc_idx,
+                    stats=wf.stats.clone(),
+                )
+                for rank, wf in enumerate(cu.waves)
+            )
+            wave_records.append(records)
+            cu_stats.append(cu.stats.clone())
+
+        transitions = self._pending_transitions
+        self._pending_transitions = 0
+        return EpochResult(
+            t_start=t0,
+            t_end=t1,
+            frequencies_ghz=tuple(self.domains.frequencies()),
+            cu_stats=tuple(cu_stats),
+            wave_records=tuple(wave_records),
+            transitions=transitions,
+        )
+
+    def run_to_completion(self, epoch_ns: float, max_epochs: int = 1_000_000) -> List[EpochResult]:
+        """Run epochs at current frequencies until all work finishes."""
+        results: List[EpochResult] = []
+        for _ in range(max_epochs):
+            if self.done:
+                break
+            results.append(self.run_epoch(epoch_ns))
+        return results
+
+    # ------------------------------------------------------------------
+    # Domain-level aggregation helpers
+
+    def committed_per_domain(self, result: EpochResult) -> List[int]:
+        out = []
+        for domain in self.domains:
+            out.append(sum(result.cu_stats[cu_id].committed for cu_id in domain.cu_ids))
+        return out
+
+    # ------------------------------------------------------------------
+    # Snapshot
+
+    def clone(self) -> "Gpu":
+        out = Gpu.__new__(Gpu)
+        out.config = self.config
+        out.memory = self.memory.clone()
+        out.cus = [cu.clone() for cu in self.cus]
+        out.domains = self.domains.clone()
+        out.time = self.time
+        out._pending_transitions = self._pending_transitions
+        out._next_wg_base = self._next_wg_base
+        return out
+
+
+__all__ = ["Gpu", "EpochResult", "WaveEpochRecord"]

@@ -1,0 +1,70 @@
+"""Kernels and workgroup geometry.
+
+A :class:`Kernel` pairs a :class:`~repro.gpu.isa.Program` with launch
+geometry: how many workgroups are dispatched, how many wavefronts each
+workgroup contains, and optional per-wavefront heterogeneity (a different
+program variant per wavefront class, used by heterogeneous workloads such
+as ``dgemm`` in the suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.gpu.isa import Program
+
+
+@dataclass(frozen=True)
+class WorkgroupGeometry:
+    """Launch geometry of a kernel."""
+
+    n_workgroups: int
+    waves_per_workgroup: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_workgroups < 1:
+            raise ValueError("n_workgroups must be positive")
+        if self.waves_per_workgroup < 1:
+            raise ValueError("waves_per_workgroup must be positive")
+
+    @property
+    def total_waves(self) -> int:
+        return self.n_workgroups * self.waves_per_workgroup
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A GPU kernel: one or more program variants plus launch geometry.
+
+    ``variants`` allows heterogeneous kernels: wavefront ``w`` of workgroup
+    ``g`` executes ``variants[(g + w) % len(variants)]``. Homogeneous
+    kernels pass a single program.
+    """
+
+    variants: Tuple[Program, ...]
+    geometry: WorkgroupGeometry
+    name: str = "kernel"
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError("kernel needs at least one program variant")
+
+    @staticmethod
+    def homogeneous(program: Program, geometry: WorkgroupGeometry, name: Optional[str] = None) -> "Kernel":
+        return Kernel((program,), geometry, name=name or program.name)
+
+    def program_for(self, workgroup_id: int, wave_in_group: int) -> Program:
+        """Program variant executed by a given wavefront."""
+        return self.variants[(workgroup_id + wave_in_group) % len(self.variants)]
+
+    @property
+    def total_waves(self) -> int:
+        return self.geometry.total_waves
+
+    def static_instruction_count(self) -> int:
+        """Static code size across variants (for PC-table coverage studies)."""
+        return max(len(v) for v in self.variants)
+
+
+__all__ = ["WorkgroupGeometry", "Kernel"]

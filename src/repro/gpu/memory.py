@@ -1,0 +1,142 @@
+"""Shared memory subsystem: banked L2, DRAM channels, contention, thrash.
+
+The memory subsystem lives in a fixed-frequency V/f domain (1.6 GHz in the
+paper, Section 5), so every latency here is expressed in nanoseconds and
+is *independent of CU frequency* - this frequency-independence is exactly
+what creates frequency-insensitive ("memory-bound") phases.
+
+Contention is modelled with per-bank/per-channel ``busy_until`` service
+queues: a request arriving while its bank is busy waits for the backlog.
+Because CUs from every V/f domain share these queues, the performance of
+one domain depends on the frequencies of the others - the interference
+effect that the paper's fork-and-shuffle oracle methodology must cope with
+(Section 5.1).
+
+A simple thrash model degrades the effective L2 hit rate when the
+aggregate request rate exceeds a threshold, reproducing the second-order
+effect reported for ``FwdSoft`` (Section 6.2): running many CUs faster can
+*hurt* performance by thrashing the L2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import MemoryConfig
+
+_PHI = 0.6180339887498949
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """Outcome of a memory request as seen by the issuing CU."""
+
+    completion_ns: float
+    level: str  # "l2" or "dram"
+    queue_ns: float
+
+
+class MemorySubsystem:
+    """Banked L2 + DRAM with deterministic contention modelling.
+
+    State is intentionally small (bank/channel ``busy_until`` arrays plus
+    a few counters) so oracle snapshots are cheap.
+    """
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+        self.bank_busy_until: List[float] = [0.0] * config.n_l2_banks
+        self.channel_busy_until: List[float] = [0.0] * config.n_dram_channels
+        self.request_counter = 0
+        self.thrash_counter = 0
+        # Exponential moving average of the aggregate request rate
+        # (requests per ns), used by the thrash model.
+        self.rate_ema = 0.0
+        self.last_request_ns = 0.0
+
+    # ------------------------------------------------------------------
+
+    def _update_rate(self, now: float) -> None:
+        gap = now - self.last_request_ns
+        self.last_request_ns = now
+        if gap < 0:
+            # Requests from differently-clocked CUs are processed in
+            # near-time order; small reorderings are treated as
+            # simultaneous arrivals.
+            gap = 0.0
+        inst_rate = 1.0 / (gap + 0.5)  # +0.5 ns guards the singularity
+        alpha = 0.05
+        self.rate_ema = (1 - alpha) * self.rate_ema + alpha * inst_rate
+
+    def thrash_degradation(self) -> float:
+        """Fraction of would-be L2 hits converted to misses right now."""
+        cfg = self.config
+        if self.rate_ema <= cfg.l2_thrash_rate_per_ns:
+            return 0.0
+        excess = (self.rate_ema - cfg.l2_thrash_rate_per_ns) / cfg.l2_thrash_rate_per_ns
+        return min(1.0, excess) * cfg.l2_thrash_max_degradation
+
+    def _draw(self) -> float:
+        self.thrash_counter += 1
+        return (self.thrash_counter * _PHI) % 1.0
+
+    # ------------------------------------------------------------------
+
+    def request(self, now: float, l2_hit: bool, bank_key: int = 0) -> MemoryRequest:
+        """Service an L1 miss arriving at the L2 at time ``now`` (ns).
+
+        Args:
+            now: issue time at the CU.
+            l2_hit: whether the access would hit in L2 absent thrashing.
+            bank_key: address-derived key selecting the L2 bank. Must be
+                a pure function of the access (not of arrival order), so
+                that one domain's frequency cannot re-map another
+                domain's bank conflicts.
+
+        Returns:
+            The request outcome including its completion time.
+        """
+        cfg = self.config
+        self.request_counter += 1
+        self._update_rate(now)
+
+        if l2_hit and self.thrash_degradation() > 0.0:
+            if self._draw() < self.thrash_degradation():
+                l2_hit = False
+
+        bank = (bank_key * 2654435761) % cfg.n_l2_banks
+        arrive = now + cfg.l2_interconnect_ns
+        start = max(arrive, self.bank_busy_until[bank])
+        queue_ns = start - arrive
+        self.bank_busy_until[bank] = start + cfg.l2_service_ns
+
+        if l2_hit:
+            done = start + cfg.l2_service_ns + cfg.l2_hit_extra_ns
+            completion = done + cfg.l2_interconnect_ns
+            return MemoryRequest(completion, "l2", queue_ns)
+
+        channel = bank % cfg.n_dram_channels
+        d_arrive = start + cfg.l2_service_ns
+        d_start = max(d_arrive, self.channel_busy_until[channel])
+        queue_ns += d_start - d_arrive
+        self.channel_busy_until[channel] = d_start + cfg.dram_service_ns
+        done = d_start + cfg.dram_service_ns + cfg.dram_extra_ns
+        completion = done + cfg.l2_interconnect_ns
+        return MemoryRequest(completion, "dram", queue_ns)
+
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "MemorySubsystem":
+        out = MemorySubsystem.__new__(MemorySubsystem)
+        out.config = self.config
+        out.bank_busy_until = list(self.bank_busy_until)
+        out.channel_busy_until = list(self.channel_busy_until)
+        out.request_counter = self.request_counter
+        out.thrash_counter = self.thrash_counter
+        out.rate_ema = self.rate_ema
+        out.last_request_ns = self.last_request_ns
+        return out
+
+
+__all__ = ["MemorySubsystem", "MemoryRequest"]

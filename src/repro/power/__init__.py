@@ -1,0 +1,17 @@
+"""Analytic GPU power/energy model (replaces the paper's in-house model).
+
+Provides dynamic power via ``P = C_eff * V(f)^2 * A * f``, a weakly
+voltage-dependent leakage term, an IVR conversion-efficiency curve, and
+per-epoch energy accounting including V/f transition energy.
+"""
+
+from repro.power.model import PowerModel, voltage_for_frequency
+from repro.power.energy import EnergyAccountant, EnergyBreakdown, ed_n_p
+
+__all__ = [
+    "PowerModel",
+    "voltage_for_frequency",
+    "EnergyAccountant",
+    "EnergyBreakdown",
+    "ed_n_p",
+]

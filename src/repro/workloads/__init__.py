@@ -1,0 +1,30 @@
+"""Synthetic GPU workload suite (TABLE II substitution).
+
+The paper evaluates ECP proxy apps and DeepBench/DNNMark kernels on a
+gem5 GPU model. We synthesise kernels with the same names and the
+documented first-order characters (compute- vs memory-bound, phase
+structure, heterogeneity, barrier pressure); see
+``repro.workloads.suite`` for the per-app rationale.
+"""
+
+from repro.workloads.generator import PhaseSpec, KernelSpec, WorkloadSpec, build_kernel, build_workload
+from repro.workloads.suite import (
+    WORKLOADS,
+    HPC_WORKLOADS,
+    MI_WORKLOADS,
+    workload,
+    workload_names,
+)
+
+__all__ = [
+    "PhaseSpec",
+    "KernelSpec",
+    "WorkloadSpec",
+    "build_kernel",
+    "build_workload",
+    "WORKLOADS",
+    "HPC_WORKLOADS",
+    "MI_WORKLOADS",
+    "workload",
+    "workload_names",
+]

@@ -1,0 +1,439 @@
+"""The 16-application evaluation suite (TABLE II substitution).
+
+Each application is synthesised to match the first-order character the
+paper reports or implies. Programs follow the structure the PC-indexed
+predictor relies on (Section 4.4): an outer loop over a body of a few
+hundred instructions, whose *unrolled* internal sections (compute bursts,
+memory bursts) give different PCs different frequency sensitivity.
+Variant preambles de-phase wavefronts so the CU-level instruction mix
+keeps shifting epoch to epoch (the paper's second source of variation,
+Section 4.1) while each wavefront's behaviour from a given PC stays
+repetitive (Figure 10).
+
+HPC (ECP proxy apps):
+
+* ``comd``    - molecular dynamics; compute + neighbour-gather sections
+  (Figure 5 uses it for the linearity study).
+* ``hpgmg``   - multigrid; memory-bound at several working-set levels
+  (sits at low frequencies in Figure 16).
+* ``lulesh``  - shock hydro; 27 distinct kernels spanning the spectrum.
+* ``minife``  - finite element; 3 kernels (SpMV / dot / axpy).
+* ``xsbench`` - Monte Carlo cross-section lookups; latency-bound,
+  data-dependent (high pattern jitter), lowest sensitivity (Fig. 6d).
+* ``hacc``    - cosmology; strongly compute-bound force bursts
+  (Figure 6b), 2 kernels.
+* ``quickS``  - Monte Carlo Quicksilver; highest inter-wavefront
+  divergence (Figure 11a) - heavily jittered variants.
+* ``pennant`` - unstructured mesh; 5 kernels of mixed character.
+* ``snapc``   - discrete ordinates sweep; barrier-synchronised.
+
+MI (DeepBench / DNNMark):
+
+* ``dgemm``   - double-precision GEMM; compute-intensive but
+  heterogeneous (Section 6.2 notes its lower accuracy).
+* ``BwdBN``   - batch-norm backward; strong reduce/elementwise section
+  alternation (Figures 6c and 8).
+* ``BwdPool`` - pooling backward; near-constant instruction rate (locks
+  onto a single mid frequency in Figure 16).
+* ``BwdSoft`` - softmax backward; reduction + exp compute.
+* ``FwdBN``   - batch-norm forward; lighter BwdBN.
+* ``FwdPool`` - pooling forward; streaming loads/stores.
+* ``FwdSoft`` - softmax forward; extreme L2 pressure, exhibits the
+  L2-thrashing pathology at high frequency (Section 6.2).
+
+Geometry note: the specs use 8 workgroups x 4 waves, which saturates the
+default 4-CU test platform; ``build_workload(..., scale=...)`` stretches
+or shrinks run length without changing per-epoch behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.workloads.generator import KernelSpec, PhaseSpec, WorkloadSpec
+
+
+def _w(name: str, kernels: List[KernelSpec], category: str, description: str) -> WorkloadSpec:
+    return WorkloadSpec(name, tuple(kernels), category, description)
+
+
+def _lulesh_kernels() -> List[KernelSpec]:
+    """27 small kernels sweeping the compute/memory spectrum."""
+    kernels = []
+    for i in range(27):
+        frac = i / 26.0  # 0 = compute-bound, 1 = memory-bound
+        valu = max(4, int(round(30 * (1.0 - frac) + 5 * frac)))
+        loads = max(1, int(round(1 + 4 * frac)))
+        l1 = 0.8 - 0.55 * frac
+        kernels.append(
+            KernelSpec(
+                name=f"lulesh.k{i}",
+                phases=(
+                    PhaseSpec(
+                        valu=valu,
+                        loads=loads,
+                        l1_hit=l1,
+                        l2_hit=0.55,
+                        fence_every=3,
+                        iterations=12,
+                    ),
+                ),
+                outer_iterations=14,
+                n_variants=8,
+                stagger_valu=12,
+                seed=100 + i,
+            )
+        )
+    return kernels
+
+
+def _build_suite() -> Dict[str, WorkloadSpec]:
+    suite: Dict[str, WorkloadSpec] = {}
+
+    suite["comd"] = _w(
+        "comd",
+        [
+            KernelSpec(
+                name="comd.force",
+                phases=(
+                    PhaseSpec(valu=20, loads=1, l1_hit=0.7, l2_hit=0.7, fence_every=1, iterations=8),
+                    PhaseSpec(valu=6, loads=3, l1_hit=0.35, l2_hit=0.5, fence_every=4, iterations=10),
+                ),
+                outer_iterations=40,
+                n_variants=8,
+                stagger_valu=24,
+                seed=11,
+            )
+        ],
+        "HPC",
+        "Molecular dynamics: compute bursts + neighbour-gather sections.",
+    )
+
+    suite["hpgmg"] = _w(
+        "hpgmg",
+        [
+            KernelSpec(
+                name="hpgmg.vcycle",
+                phases=(
+                    PhaseSpec(valu=4, loads=4, l1_hit=0.25, l2_hit=0.45, fence_every=4, iterations=8),
+                    PhaseSpec(valu=3, loads=4, l1_hit=0.15, l2_hit=0.35, fence_every=4, iterations=8),
+                    PhaseSpec(valu=8, loads=1, l1_hit=0.45, l2_hit=0.55, fence_every=2, iterations=6),
+                ),
+                outer_iterations=36,
+                n_variants=8,
+                stagger_valu=16,
+                seed=12,
+            )
+        ],
+        "HPC",
+        "Full multigrid: memory-bound smoothing at multiple grid levels.",
+    )
+
+    suite["lulesh"] = _w(
+        "lulesh", _lulesh_kernels(), "HPC", "Shock hydrodynamics: 27 kernels."
+    )
+
+    suite["minife"] = _w(
+        "minife",
+        [
+            KernelSpec(
+                name="minife.spmv",
+                phases=(
+                    PhaseSpec(valu=3, loads=4, l1_hit=0.3, l2_hit=0.5, fence_every=4, iterations=12,
+                              pattern_jitter=0.3),
+                ),
+                outer_iterations=40,
+                n_variants=8,
+                stagger_valu=12,
+                seed=13,
+            ),
+            KernelSpec(
+                name="minife.dot",
+                phases=(
+                    PhaseSpec(valu=10, loads=2, l1_hit=0.5, l2_hit=0.6, fence_every=2,
+                              iterations=8, barrier_at_end=True),
+                ),
+                outer_iterations=36,
+                seed=14,
+            ),
+            KernelSpec(
+                name="minife.waxpby",
+                phases=(
+                    PhaseSpec(valu=6, loads=2, stores=1, l1_hit=0.45, l2_hit=0.55, fence_every=3, iterations=10),
+                ),
+                outer_iterations=30,
+                n_variants=8,
+                stagger_valu=10,
+                seed=15,
+            ),
+        ],
+        "HPC",
+        "Finite element mini-app: SpMV + reduction + vector update kernels.",
+    )
+
+    suite["xsbench"] = _w(
+        "xsbench",
+        [
+            KernelSpec(
+                name="xsbench.lookup",
+                phases=(
+                    PhaseSpec(valu=2, loads=4, l1_hit=0.05, l2_hit=0.25, fence_every=1,
+                              iterations=10, pattern_jitter=0.9),
+                ),
+                outer_iterations=60,
+                n_variants=8,
+                stagger_valu=8,
+                seed=16,
+            )
+        ],
+        "HPC",
+        "Monte Carlo transport: random cross-section lookups, latency-bound.",
+    )
+
+    suite["hacc"] = _w(
+        "hacc",
+        [
+            KernelSpec(
+                name="hacc.force",
+                phases=(
+                    PhaseSpec(valu=36, loads=1, l1_hit=0.8, l2_hit=0.8, fence_every=1, iterations=8),
+                    PhaseSpec(valu=10, loads=2, l1_hit=0.6, l2_hit=0.7, fence_every=2, iterations=4),
+                ),
+                outer_iterations=40,
+                n_variants=8,
+                stagger_valu=32,
+                seed=17,
+            ),
+            KernelSpec(
+                name="hacc.stream",
+                phases=(
+                    PhaseSpec(valu=6, loads=3, stores=1, l1_hit=0.5, l2_hit=0.6, fence_every=4, iterations=8),
+                ),
+                outer_iterations=20,
+                n_variants=8,
+                stagger_valu=10,
+                seed=18,
+            ),
+        ],
+        "HPC",
+        "Cosmology: strongly compute-bound force bursts plus a stream kernel.",
+    )
+
+    suite["quickS"] = _w(
+        "quickS",
+        [
+            KernelSpec(
+                name="quickS.mc",
+                phases=(
+                    PhaseSpec(valu=12, loads=2, l1_hit=0.45, l2_hit=0.5, fence_every=2,
+                              iterations=6, pattern_jitter=0.6),
+                    PhaseSpec(valu=5, loads=3, l1_hit=0.3, l2_hit=0.45, fence_every=3,
+                              iterations=6, barrier_at_end=True, pattern_jitter=0.6),
+                ),
+                outer_iterations=30,
+                n_variants=8,
+                variant_jitter=0.5,
+                stagger_valu=20,
+                seed=19,
+            )
+        ],
+        "HPC",
+        "Monte Carlo Quicksilver: heavy per-wavefront divergence (Fig. 11a).",
+    )
+
+    suite["pennant"] = _w(
+        "pennant",
+        [
+            KernelSpec(
+                name=f"pennant.k{i}",
+                phases=(
+                    PhaseSpec(valu=v, loads=l, l1_hit=h, l2_hit=0.55, fence_every=3,
+                              iterations=10, barrier_at_end=(i == 2)),
+                ),
+                outer_iterations=16,
+                n_variants=8,
+                stagger_valu=12,
+                seed=20 + i,
+            )
+            for i, (v, l, h) in enumerate(
+                [(22, 2, 0.65), (6, 4, 0.3), (14, 2, 0.5), (4, 4, 0.2), (28, 1, 0.7)]
+            )
+        ],
+        "HPC",
+        "Unstructured mesh: 5 kernels of mixed character.",
+    )
+
+    suite["snapc"] = _w(
+        "snapc",
+        [
+            KernelSpec(
+                name="snapc.sweep",
+                phases=(
+                    PhaseSpec(valu=14, loads=2, l1_hit=0.55, l2_hit=0.6, fence_every=2,
+                              iterations=6, barrier_at_end=True),
+                    PhaseSpec(valu=5, loads=3, l1_hit=0.35, l2_hit=0.5, fence_every=3, iterations=5),
+                ),
+                outer_iterations=30,
+                seed=25,
+            )
+        ],
+        "HPC",
+        "Discrete ordinates: barrier-synchronised wavefront sweeps.",
+    )
+
+    # ------------------------------------------------------------- MI --
+
+    suite["dgemm"] = _w(
+        "dgemm",
+        [
+            KernelSpec(
+                name="dgemm.tile",
+                phases=(
+                    PhaseSpec(valu=2, loads=6, l1_hit=0.6, l2_hit=0.9, fence_every=6,
+                              iterations=1, barrier_at_end=True),
+                    PhaseSpec(valu=40, loads=0, iterations=6),
+                ),
+                outer_iterations=44,
+                n_variants=4,
+                variant_jitter=0.35,
+                seed=31,
+            )
+        ],
+        "MI",
+        "Double-precision GEMM: tile-load bursts + long FMA bursts; heterogeneous.",
+    )
+
+    suite["BwdBN"] = _w(
+        "BwdBN",
+        [
+            KernelSpec(
+                name="BwdBN.main",
+                phases=(
+                    PhaseSpec(valu=4, loads=4, l1_hit=0.5, l2_hit=0.7, fence_every=4,
+                              iterations=8, barrier_at_end=True),
+                    PhaseSpec(valu=24, loads=1, l1_hit=0.7, l2_hit=0.7, fence_every=1, iterations=8),
+                ),
+                outer_iterations=30,
+                seed=32,
+            )
+        ],
+        "MI",
+        "Batch-norm backward: reduce/elementwise alternation (Figs. 6c, 8).",
+    )
+
+    suite["BwdPool"] = _w(
+        "BwdPool",
+        [
+            KernelSpec(
+                name="BwdPool.main",
+                phases=(
+                    PhaseSpec(valu=10, loads=2, l1_hit=0.5, l2_hit=0.6, fence_every=2, iterations=10),
+                ),
+                outer_iterations=40,
+                n_variants=8,
+                stagger_valu=12,
+                seed=33,
+            )
+        ],
+        "MI",
+        "Pooling backward: constant instruction rate, locks one frequency.",
+    )
+
+    suite["BwdSoft"] = _w(
+        "BwdSoft",
+        [
+            KernelSpec(
+                name="BwdSoft.main",
+                phases=(
+                    PhaseSpec(valu=5, loads=3, l1_hit=0.45, l2_hit=0.6, fence_every=3,
+                              iterations=6, barrier_at_end=True),
+                    PhaseSpec(valu=20, loads=1, l1_hit=0.6, l2_hit=0.6, fence_every=1, iterations=6),
+                ),
+                outer_iterations=30,
+                seed=34,
+            )
+        ],
+        "MI",
+        "Softmax backward: reduction plus exp-heavy compute.",
+    )
+
+    suite["FwdBN"] = _w(
+        "FwdBN",
+        [
+            KernelSpec(
+                name="FwdBN.main",
+                phases=(
+                    PhaseSpec(valu=4, loads=3, l1_hit=0.5, l2_hit=0.65, fence_every=3,
+                              iterations=6, barrier_at_end=True),
+                    PhaseSpec(valu=16, loads=1, l1_hit=0.65, l2_hit=0.65, fence_every=1, iterations=6),
+                ),
+                outer_iterations=30,
+                seed=35,
+            )
+        ],
+        "MI",
+        "Batch-norm forward: lighter reduce/elementwise alternation.",
+    )
+
+    suite["FwdPool"] = _w(
+        "FwdPool",
+        [
+            KernelSpec(
+                name="FwdPool.main",
+                phases=(
+                    PhaseSpec(valu=5, loads=2, stores=1, l1_hit=0.55, l2_hit=0.6, fence_every=3, iterations=10),
+                ),
+                outer_iterations=36,
+                n_variants=8,
+                stagger_valu=10,
+                seed=36,
+            )
+        ],
+        "MI",
+        "Pooling forward: streaming loads and stores.",
+    )
+
+    suite["FwdSoft"] = _w(
+        "FwdSoft",
+        [
+            KernelSpec(
+                name="FwdSoft.main",
+                phases=(
+                    PhaseSpec(valu=12, loads=4, l1_hit=0.08, l2_hit=0.85, fence_every=4,
+                              iterations=8, pattern_jitter=0.3),
+                ),
+                outer_iterations=40,
+                n_variants=8,
+                stagger_valu=12,
+                seed=37,
+            )
+        ],
+        "MI",
+        "Softmax forward: extreme L2 pressure; thrashes at high frequency.",
+    )
+
+    return suite
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = _build_suite()
+HPC_WORKLOADS: Tuple[str, ...] = tuple(
+    n for n, s in WORKLOADS.items() if s.category == "HPC"
+)
+MI_WORKLOADS: Tuple[str, ...] = tuple(
+    n for n, s in WORKLOADS.items() if s.category == "MI"
+)
+
+
+def workload(name: str) -> WorkloadSpec:
+    """Look up a workload spec by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}") from None
+
+
+def workload_names() -> List[str]:
+    return list(WORKLOADS)
+
+
+__all__ = ["WORKLOADS", "HPC_WORKLOADS", "MI_WORKLOADS", "workload", "workload_names"]

@@ -1,0 +1,46 @@
+"""Shared fixtures: tiny platforms and kernels that run in milliseconds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DvfsConfig, GpuConfig, MemoryConfig, SimConfig
+from repro.gpu.kernel import Kernel, WorkgroupGeometry
+
+from helpers import make_loop_program
+
+
+@pytest.fixture
+def tiny_config() -> SimConfig:
+    """2 CUs x 4 waves - smallest interesting platform."""
+    return SimConfig(
+        gpu=GpuConfig(
+            n_cus=2,
+            waves_per_cu=4,
+            memory=MemoryConfig(n_l2_banks=2),
+        ),
+        dvfs=DvfsConfig(epoch_ns=1000.0),
+    )
+
+
+@pytest.fixture
+def quad_config() -> SimConfig:
+    """4 CUs x 8 waves - the standard test platform."""
+    return SimConfig(
+        gpu=GpuConfig(
+            n_cus=4,
+            waves_per_cu=8,
+            memory=MemoryConfig(n_l2_banks=4),
+        ),
+        dvfs=DvfsConfig(epoch_ns=1000.0),
+    )
+
+
+@pytest.fixture
+def loop_program():
+    return make_loop_program()
+
+
+@pytest.fixture
+def loop_kernel(loop_program) -> Kernel:
+    return Kernel.homogeneous(loop_program, WorkgroupGeometry(4, 2))

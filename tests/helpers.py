@@ -1,0 +1,32 @@
+"""Shared test helper functions (import side of tests/conftest.py)."""
+
+from __future__ import annotations
+
+from repro.gpu.isa import ProgramBuilder, barrier, load, valu, waitcnt
+from repro.gpu.kernel import Kernel, WorkgroupGeometry
+
+
+def make_loop_program(
+    n_valu: int = 8,
+    n_loads: int = 2,
+    l1_hit: float = 0.5,
+    trips: int = 50,
+    with_barrier: bool = False,
+    name: str = "loop",
+):
+    """A simple loop kernel body used across tests."""
+    b = ProgramBuilder()
+    top = b.label()
+    for _ in range(n_valu):
+        b.emit(valu())
+    for _ in range(n_loads):
+        b.emit(load(l1_hit, 0.5))
+    b.emit(waitcnt(0))
+    if with_barrier:
+        b.emit(barrier())
+    b.loop_back(top, trips=trips)
+    return b.build(name)
+
+
+def make_kernel(program, n_workgroups=4, waves_per_workgroup=2) -> Kernel:
+    return Kernel.homogeneous(program, WorkgroupGeometry(n_workgroups, waves_per_workgroup))

@@ -1,0 +1,133 @@
+"""Analysis drivers: sensitivity profiling, variability, linearity."""
+
+import pytest
+
+from repro.analysis.linearity import linearity_study
+from repro.analysis.phases import (
+    consecutive_epoch_change,
+    offset_bits_sweep,
+    profile_sensitivity,
+    same_pc_iteration_change,
+    wavefront_contributions,
+    wavefront_slot_change,
+)
+from repro.config import small_config
+from repro.workloads import build_workload, workload
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return small_config()
+
+
+@pytest.fixture(scope="module")
+def comd_trace(cfg):
+    kernels = build_workload(workload("comd"), scale=0.2)
+    return profile_sensitivity(kernels, cfg, max_epochs=18, workload_name="comd")
+
+
+class TestProfile:
+    def test_trace_structure(self, comd_trace, cfg):
+        assert comd_trace.workload == "comd"
+        assert len(comd_trace.epochs) > 5
+        e = comd_trace.epochs[0]
+        assert len(e.cu_slopes) == cfg.gpu.n_cus
+        assert len(e.domain_slopes) == cfg.gpu.n_domains
+
+    def test_wave_observations_have_pcs_and_ranks(self, comd_trace):
+        waves = [w for e in comd_trace.epochs for w in e.waves]
+        assert waves
+        assert any(w.start_pc_idx > 0 for w in waves)
+        assert all(w.age_rank >= 0 for w in waves)
+
+    def test_gpu_slope_is_cu_sum(self, comd_trace):
+        e = comd_trace.epochs[0]
+        assert e.gpu_slope == pytest.approx(sum(e.cu_slopes))
+
+    def test_series_extraction(self, comd_trace):
+        s = comd_trace.cu_series(0)
+        assert len(s) == len(comd_trace.epochs)
+
+
+class TestVariability:
+    def test_consecutive_change_positive(self, comd_trace):
+        assert consecutive_epoch_change(comd_trace, "cu") > 0.0
+
+    def test_wavefront_level_higher_than_cu(self, comd_trace):
+        """Per-wavefront sensitivity varies more than CU aggregate."""
+        assert consecutive_epoch_change(comd_trace, "wf") >= consecutive_epoch_change(
+            comd_trace, "cu"
+        ) * 0.8
+
+    def test_same_pc_less_variable_than_consecutive(self, comd_trace):
+        """The paper's central observation (Fig 10 vs Fig 7): same-PC
+        iterations are much more stable than consecutive epochs."""
+        same_pc = same_pc_iteration_change(comd_trace, "wf")
+        consecutive = consecutive_epoch_change(comd_trace, "wf")
+        assert same_pc < consecutive
+
+    def test_granularities_accepted(self, comd_trace):
+        for g in ("wf", "cu", "gpu"):
+            v = same_pc_iteration_change(comd_trace, g)
+            assert 0.0 <= v <= 2.0
+
+    def test_bad_granularity_rejected(self, comd_trace):
+        with pytest.raises(ValueError):
+            same_pc_iteration_change(comd_trace, "banana")
+
+    def test_bad_level_rejected(self, comd_trace):
+        with pytest.raises(ValueError):
+            consecutive_epoch_change(comd_trace, "banana")
+
+    def test_offset_sweep_returns_all_offsets(self, comd_trace):
+        sweep = offset_bits_sweep(comd_trace, offsets=(0, 4, 8))
+        assert set(sweep) == {0, 4, 8}
+
+    def test_slot_profile_length(self, comd_trace):
+        prof = wavefront_slot_change(comd_trace, max_slots=8)
+        assert len(prof) == 8
+
+    def test_wavefront_contributions_shape(self, comd_trace):
+        contrib = wavefront_contributions(comd_trace, cu_id=0, max_slots=4)
+        assert len(contrib) == 4
+        assert all(len(s) == len(comd_trace.epochs) for s in contrib)
+
+
+class TestSlopeFloors:
+    def test_floors_positive_for_active_trace(self, comd_trace):
+        assert comd_trace.cu_slope_floor() > 0.0
+        assert comd_trace.wave_slope_floor() > 0.0
+
+    def test_floor_scales_with_fraction(self, comd_trace):
+        assert comd_trace.cu_slope_floor(0.10) == pytest.approx(
+            2 * comd_trace.cu_slope_floor(0.05)
+        )
+
+    def test_floor_below_typical_slopes(self, comd_trace):
+        """The noise floor must not swallow real sensitivity levels."""
+        peak = max(max(comd_trace.cu_series(c)) for c in range(4))
+        assert comd_trace.cu_slope_floor() < peak / 3
+
+
+class TestLinearity:
+    def test_fig5_linearity(self, cfg):
+        kernels = build_workload(workload("comd"), scale=0.2)
+        res = linearity_study(kernels, cfg, sample_epochs=(2, 5, 8), max_epochs=12)
+        assert len(res.epochs) == 3
+        # Paper reports mean R^2 of 0.82; require clear linearity.
+        assert res.mean_r_squared > 0.6
+
+    def test_points_cover_grid(self, cfg):
+        kernels = build_workload(workload("comd"), scale=0.2)
+        res = linearity_study(kernels, cfg, sample_epochs=(2,), max_epochs=5)
+        freqs = [p[0] for p in res.epochs[0].points]
+        assert freqs[0] == cfg.dvfs.f_min
+        assert freqs[-1] == cfg.dvfs.f_max
+
+    def test_extra_frequencies_included(self, cfg):
+        kernels = build_workload(workload("comd"), scale=0.2)
+        res = linearity_study(
+            kernels, cfg, sample_epochs=(2,), extra_freqs_ghz=(0.8, 3.0), max_epochs=5
+        )
+        freqs = [p[0] for p in res.epochs[0].points]
+        assert 0.8 in freqs and 3.0 in freqs

@@ -1,0 +1,76 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "comd"])
+        args_dict = vars(args)
+        assert args_dict["design"] == "PCSTALL"
+        assert args_dict["objective"] == "ed2p"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "not-a-workload"])
+
+
+class TestCommands:
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "comd" in out and "dgemm" in out
+
+    def test_designs(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        assert "PCSTALL" in out and "HISTORY" in out
+
+    def test_storage(self, capsys):
+        assert main(["storage"]) == 0
+        assert "328" in capsys.readouterr().out
+
+    def test_run_small(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        rc = main([
+            "run", "comd", "--design", "STATIC@1.7", "--cus", "2", "--waves", "4",
+            "--scale", "0.1", "--max-epochs", "50", "--json", str(path),
+        ])
+        assert rc == 0
+        assert "ED2P" in capsys.readouterr().out
+        data = json.loads(path.read_text())
+        assert data["workload"] == "comd"
+
+    def test_compare_small(self, capsys):
+        rc = main([
+            "compare", "xsbench", "--designs", "STATIC@1.7,STALL", "--cus", "2",
+            "--waves", "4", "--scale", "0.1", "--max-epochs", "50",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "STALL" in out
+
+    def test_profile_with_csv(self, capsys, tmp_path):
+        path = tmp_path / "trace.csv"
+        rc = main([
+            "profile", "comd", "--cus", "2", "--waves", "4", "--scale", "0.1",
+            "--max-epochs", "5", "--csv", str(path),
+        ])
+        assert rc == 0
+        assert path.exists()
+        assert "same-PC" in capsys.readouterr().out
+
+    def test_cap_objective_parse(self):
+        rc = main([
+            "run", "xsbench", "--design", "PCSTALL", "--cus", "2", "--waves", "4",
+            "--scale", "0.1", "--max-epochs", "40", "--objective", "cap5",
+        ])
+        assert rc == 0

@@ -1,0 +1,118 @@
+"""Configuration validation and derived quantities."""
+
+import pytest
+
+from repro.config import (
+    DvfsConfig,
+    GpuConfig,
+    MemoryConfig,
+    PowerConfig,
+    SimConfig,
+    default_frequency_grid,
+    paper_config,
+    small_config,
+    transition_latency_ns,
+)
+
+
+class TestFrequencyGrid:
+    def test_ten_states(self):
+        grid = default_frequency_grid()
+        assert len(grid) == 10
+
+    def test_range_matches_paper(self):
+        grid = default_frequency_grid()
+        assert grid[0] == pytest.approx(1.3)
+        assert grid[-1] == pytest.approx(2.2)
+
+    def test_hundred_mhz_steps(self):
+        grid = default_frequency_grid()
+        for a, b in zip(grid, grid[1:]):
+            assert b - a == pytest.approx(0.1)
+
+
+class TestTransitionLatency:
+    def test_paper_calibration_points(self):
+        assert transition_latency_ns(1_000.0) == pytest.approx(4.0)
+        assert transition_latency_ns(10_000.0) == pytest.approx(40.0)
+        assert transition_latency_ns(50_000.0) == pytest.approx(200.0)
+        assert transition_latency_ns(100_000.0) == pytest.approx(400.0)
+
+    def test_interpolates_between_points(self):
+        mid = transition_latency_ns(30_000.0)
+        assert 40.0 < mid < 200.0
+
+    def test_clamps_outside_range(self):
+        assert transition_latency_ns(10.0) == pytest.approx(4.0)
+        assert transition_latency_ns(1e9) == pytest.approx(400.0)
+
+    def test_dvfs_config_override(self):
+        cfg = DvfsConfig(epoch_ns=1000.0, transition_latency_override_ns=7.5)
+        assert cfg.transition_latency_ns == pytest.approx(7.5)
+
+    def test_dvfs_config_uses_table(self):
+        cfg = DvfsConfig(epoch_ns=10_000.0)
+        assert cfg.transition_latency_ns == pytest.approx(40.0)
+
+
+class TestGpuConfig:
+    def test_defaults_match_paper_platform(self):
+        cfg = GpuConfig()
+        assert cfg.n_cus == 64
+        assert cfg.waves_per_cu == 40
+        assert cfg.memory.n_l2_banks == 16
+        assert cfg.memory_freq_ghz == pytest.approx(1.6)
+
+    def test_domain_count(self):
+        assert GpuConfig(n_cus=8, cus_per_domain=2).n_domains == 4
+
+    def test_rejects_indivisible_domain_size(self):
+        with pytest.raises(ValueError):
+            GpuConfig(n_cus=8, cus_per_domain=3)
+
+    def test_rejects_zero_cus(self):
+        with pytest.raises(ValueError):
+            GpuConfig(n_cus=0)
+
+
+class TestDvfsConfig:
+    def test_reference_on_grid_required(self):
+        with pytest.raises(ValueError):
+            DvfsConfig(reference_freq_ghz=1.75)
+
+    def test_rejects_unsorted_grid(self):
+        with pytest.raises(ValueError):
+            DvfsConfig(frequencies_ghz=(2.2, 1.3), reference_freq_ghz=1.3)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            DvfsConfig(frequencies_ghz=())
+
+    def test_rejects_non_positive_epoch(self):
+        with pytest.raises(ValueError):
+            DvfsConfig(epoch_ns=0.0)
+
+    def test_min_max(self):
+        cfg = DvfsConfig()
+        assert cfg.f_min == pytest.approx(1.3)
+        assert cfg.f_max == pytest.approx(2.2)
+
+
+class TestFactories:
+    def test_small_config_scales_down(self):
+        cfg = small_config(n_cus=4)
+        assert cfg.gpu.n_cus == 4
+        assert cfg.gpu.n_domains == 4
+
+    def test_paper_config_is_paper_scale(self):
+        cfg = paper_config()
+        assert cfg.gpu.n_cus == 64
+        assert cfg.gpu.waves_per_cu == 40
+
+    def test_paper_config_domain_granularity(self):
+        cfg = paper_config(cus_per_domain=32)
+        assert cfg.gpu.n_domains == 2
+
+    def test_small_config_domains(self):
+        cfg = small_config(n_cus=4, cus_per_domain=2)
+        assert cfg.gpu.n_domains == 2

@@ -1,0 +1,93 @@
+"""DVFS controller: decide/observe flow, logs, residency, power feedback."""
+
+import pytest
+
+from repro.config import small_config
+from repro.core.controller import ControllerLog, DvfsController
+from repro.core.objectives import EDnPObjective, StaticObjective
+from repro.core.predictors import StaticPredictor
+from repro.core.sensitivity import LinearSensitivity
+from repro.dvfs.designs import make_controller
+from repro.gpu.gpu import Gpu
+from repro.gpu.kernel import Kernel, WorkgroupGeometry
+
+from helpers import make_loop_program
+
+
+@pytest.fixture
+def cfg():
+    return small_config(n_cus=2, waves_per_cu=4)
+
+
+def run_gpu_epoch(cfg, freq=1.7):
+    gpu = Gpu(cfg.gpu, freq)
+    gpu.load_kernel(
+        Kernel.homogeneous(make_loop_program(trips=2000), WorkgroupGeometry(4, 2))
+    )
+    return gpu, gpu.run_epoch(1000.0)
+
+
+class TestDecide:
+    def test_first_decision_holds_reference(self, cfg):
+        ctrl = make_controller("PCSTALL", cfg)
+        freqs = ctrl.decide()
+        assert freqs == [cfg.dvfs.reference_freq_ghz] * cfg.gpu.n_domains
+
+    def test_static_controller_pins_frequency(self, cfg):
+        ctrl = make_controller("STATIC@1.3", cfg)
+        for _ in range(3):
+            assert ctrl.decide() == [1.3, 1.3]
+
+    def test_decisions_logged(self, cfg):
+        ctrl = make_controller("STATIC@1.7", cfg)
+        ctrl.decide()
+        ctrl.decide()
+        assert len(ctrl.log.chosen_freqs) == 2
+        assert len(ctrl.log.predictions) == 2
+
+    def test_decide_after_observe_uses_predictions(self, cfg):
+        gpu, result = run_gpu_epoch(cfg)
+        ctrl = make_controller("STALL", cfg)
+        ctrl.decide()
+        ctrl.observe(result)
+        freqs = ctrl.decide()
+        assert all(f in cfg.dvfs.frequencies_ghz for f in freqs)
+        assert all(line is not None for line in ctrl.last_predictions())
+
+
+class TestObserve:
+    def test_observe_feeds_objective_power(self, cfg):
+        gpu, result = run_gpu_epoch(cfg)
+        obj = EDnPObjective(2)
+        ctrl = DvfsController(StaticPredictor(2), obj, cfg)
+        ctrl.observe(result)
+        # measured power should be positive and plausible
+        p = ctrl._measured_domain_power(result, 0)
+        assert p > 0.0
+
+    def test_measured_power_higher_at_higher_frequency(self, cfg):
+        _, lo = run_gpu_epoch(cfg, freq=1.3)
+        _, hi = run_gpu_epoch(cfg, freq=2.2)
+        ctrl = DvfsController(StaticPredictor(2), StaticObjective(1.7), cfg)
+        assert ctrl._measured_domain_power(hi, 0) > ctrl._measured_domain_power(lo, 0)
+
+
+class TestResidency:
+    def test_residency_sums_to_one(self, cfg):
+        ctrl = make_controller("STATIC@1.3", cfg)
+        for _ in range(5):
+            ctrl.decide()
+        res = ctrl.log.frequency_residency(cfg.dvfs.frequencies_ghz)
+        assert sum(res.values()) == pytest.approx(1.0)
+        assert res[1.3] == pytest.approx(1.0)
+
+    def test_residency_empty_log(self, cfg):
+        log = ControllerLog()
+        res = log.frequency_residency(cfg.dvfs.frequencies_ghz)
+        assert all(v == 0.0 for v in res.values())
+
+    def test_residency_counts_all_domains(self, cfg):
+        ctrl = DvfsController(StaticPredictor(2), StaticObjective(2.2), cfg)
+        ctrl.decide()
+        res = ctrl.log.frequency_residency(cfg.dvfs.frequencies_ghz)
+        assert res[2.2] == pytest.approx(1.0)

@@ -1,0 +1,109 @@
+"""Extension designs and objectives beyond TABLE III."""
+
+import pytest
+
+from repro.config import small_config, default_frequency_grid, PowerConfig
+from repro.core.estimators import CrispModel
+from repro.core.objectives import ObjectiveContext, QoSDeadlineObjective
+from repro.core.predictors import ObserveContext, PhaseHistoryPredictor
+from repro.core.sensitivity import LinearSensitivity
+from repro.dvfs.designs import EXTENSION_DESIGNS, make_controller
+from repro.dvfs.simulation import DvfsSimulation
+from repro.gpu.gpu import Gpu
+from repro.gpu.kernel import Kernel, WorkgroupGeometry
+from repro.power.model import PowerModel
+from repro.workloads import build_workload, workload
+
+from helpers import make_loop_program
+
+GRID = default_frequency_grid()
+
+
+@pytest.fixture
+def cfg():
+    return small_config(n_cus=2, waves_per_cu=4)
+
+
+class TestHistoryPredictor:
+    def _observe_epochs(self, cfg, predictor, n=6):
+        gpu = Gpu(cfg.gpu, 1.7)
+        gpu.load_kernel(
+            Kernel.homogeneous(make_loop_program(trips=3000), WorkgroupGeometry(4, 2))
+        )
+        ctx = ObserveContext(config=cfg.gpu, f_lo_ghz=1.3, f_hi_ghz=2.2)
+        for _ in range(n):
+            predictor.observe(gpu.run_epoch(1000.0), ctx)
+
+    def test_predicts_after_history(self, cfg):
+        p = PhaseHistoryPredictor(CrispModel(), cfg.gpu, history_length=2)
+        self._observe_epochs(cfg, p)
+        out = p.predict_domains()
+        assert all(line is not None for line in out)
+
+    def test_rejects_bad_params(self, cfg):
+        with pytest.raises(ValueError):
+            PhaseHistoryPredictor(CrispModel(), cfg.gpu, history_length=0)
+        with pytest.raises(ValueError):
+            PhaseHistoryPredictor(CrispModel(), cfg.gpu, n_levels=1)
+
+    def test_repeating_pattern_learned(self, cfg):
+        """After seeing A,B,A,B..., the pattern table fills in."""
+        p = PhaseHistoryPredictor(CrispModel(), cfg.gpu, history_length=2)
+        ctx = ObserveContext(config=cfg.gpu, f_lo_ghz=1.3, f_hi_ghz=2.2)
+        self._observe_epochs(cfg, p, n=10)
+        assert any(p._table[d] for d in range(cfg.gpu.n_domains))
+
+
+class TestExtensionDesigns:
+    @pytest.mark.parametrize("design", EXTENSION_DESIGNS)
+    def test_extension_designs_run(self, cfg, design):
+        kernels = build_workload(workload("comd"), scale=0.1)
+        ctrl = make_controller(design, cfg)
+        r = DvfsSimulation(kernels, ctrl, cfg, max_epochs=100,
+                           collect_accuracy=True).run()
+        assert r.epochs > 0
+        assert r.prediction_accuracy is not None
+
+    def test_pccrisp_is_pc_based_with_crisp(self, cfg):
+        ctrl = make_controller("PCCRISP", cfg)
+        assert ctrl.predictor.name == "PCCRISP"
+        assert isinstance(ctrl.predictor.estimator, CrispModel)
+        assert ctrl.predictor.tables
+
+
+class TestQoSObjective:
+    def _ctx(self):
+        return ObjectiveContext(
+            power=PowerModel(PowerConfig()),
+            epoch_ns=1000.0,
+            n_cus_in_domain=1,
+            issue_width=2,
+            memory_power_share=0.5,
+        )
+
+    def test_meets_reachable_target_cheaply(self):
+        obj = QoSDeadlineObjective(target_commits_per_epoch=1000.0)
+        line = LinearSensitivity(0.0, 1000.0)  # commits = 1000*f
+        f = obj.choose(line, GRID, 1.7, self._ctx())
+        assert line.predict(f) >= 1000.0
+        # cheapest satisfying frequency is 1.3 (1300 commits >= 1000)
+        assert f == pytest.approx(1.3)
+
+    def test_unreachable_target_best_effort(self):
+        obj = QoSDeadlineObjective(target_commits_per_epoch=1e9)
+        line = LinearSensitivity(0.0, 1000.0)
+        assert obj.choose(line, GRID, 1.7, self._ctx()) == GRID[-1]
+
+    def test_none_prediction_runs_at_max(self):
+        obj = QoSDeadlineObjective(100.0)
+        assert obj.choose(None, GRID, 1.3, self._ctx()) == GRID[-1]
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            QoSDeadlineObjective(0.0)
+
+    def test_end_to_end(self, cfg):
+        kernels = build_workload(workload("BwdPool"), scale=0.1)
+        ctrl = make_controller("PCSTALL", cfg, QoSDeadlineObjective(500.0))
+        r = DvfsSimulation(kernels, ctrl, cfg, max_epochs=150).run()
+        assert r.epochs > 0

@@ -1,0 +1,53 @@
+"""TABLE I storage-overhead model."""
+
+import pytest
+
+from repro.core.hardware import (
+    STORAGE_TABLE,
+    crisp_storage,
+    pcstall_storage,
+    stall_storage,
+    storage_overhead_bytes,
+)
+
+
+class TestPcstallStorage:
+    def test_paper_total_328_bytes(self):
+        assert storage_overhead_bytes("PCSTALL") == 328
+
+    def test_components_match_table1(self):
+        b = pcstall_storage()
+        assert b.components["sensitivity_table"] == 128
+        assert b.components["starting_pc_registers"] == 40
+        assert b.components["stall_time_registers"] == 160
+
+    def test_scales_with_geometry(self):
+        small = pcstall_storage(n_entries=64, waves_per_cu=20)
+        assert small.total_bytes == 64 + 20 + 80
+
+
+class TestOtherDesigns:
+    def test_stall_is_smallest(self):
+        sizes = {name: b.total_bytes for name, b in STORAGE_TABLE.items()}
+        assert sizes["STALL"] == min(sizes.values())
+
+    def test_ordering_stall_lead_crit_crisp(self):
+        assert (
+            storage_overhead_bytes("STALL")
+            < storage_overhead_bytes("LEAD")
+            < storage_overhead_bytes("CRIT")
+            < storage_overhead_bytes("CRISP")
+        )
+
+    def test_stall_single_register(self):
+        assert stall_storage().total_bytes == 4
+
+    def test_crisp_larger_than_crit(self):
+        assert crisp_storage().total_bytes > storage_overhead_bytes("CRIT")
+
+    def test_unknown_design(self):
+        with pytest.raises(KeyError):
+            storage_overhead_bytes("NOPE")
+
+    def test_all_designs_listed(self):
+        assert set(STORAGE_TABLE) == {"PCSTALL", "CRISP", "CRIT", "LEAD", "STALL"}

@@ -1,0 +1,56 @@
+"""Kernel and workgroup geometry."""
+
+import pytest
+
+from repro.gpu.isa import Program, endpgm, valu
+from repro.gpu.kernel import Kernel, WorkgroupGeometry
+
+
+def prog(n=3, name="p"):
+    return Program(tuple([valu() for _ in range(n)]) + (endpgm(),), name=name)
+
+
+class TestGeometry:
+    def test_total_waves(self):
+        g = WorkgroupGeometry(n_workgroups=5, waves_per_workgroup=4)
+        assert g.total_waves == 20
+
+    def test_rejects_zero_workgroups(self):
+        with pytest.raises(ValueError):
+            WorkgroupGeometry(0)
+
+    def test_rejects_zero_waves(self):
+        with pytest.raises(ValueError):
+            WorkgroupGeometry(1, 0)
+
+
+class TestKernel:
+    def test_homogeneous(self):
+        k = Kernel.homogeneous(prog(), WorkgroupGeometry(2, 2))
+        assert len(k.variants) == 1
+        assert k.program_for(0, 0) is k.variants[0]
+        assert k.program_for(5, 3) is k.variants[0]
+
+    def test_variant_round_robin(self):
+        variants = (prog(2, "a"), prog(4, "b"), prog(6, "c"))
+        k = Kernel(variants, WorkgroupGeometry(3, 2))
+        assert k.program_for(0, 0).name == "a"
+        assert k.program_for(0, 1).name == "b"
+        assert k.program_for(1, 1).name == "c"
+        assert k.program_for(3, 0).name == "a"
+
+    def test_rejects_empty_variants(self):
+        with pytest.raises(ValueError):
+            Kernel((), WorkgroupGeometry(1, 1))
+
+    def test_name_defaults_to_program(self):
+        k = Kernel.homogeneous(prog(name="fancy"), WorkgroupGeometry(1, 1))
+        assert k.name == "fancy"
+
+    def test_static_instruction_count_is_max(self):
+        k = Kernel((prog(2), prog(10)), WorkgroupGeometry(1, 1))
+        assert k.static_instruction_count() == 11
+
+    def test_total_waves(self):
+        k = Kernel.homogeneous(prog(), WorkgroupGeometry(4, 3))
+        assert k.total_waves == 12

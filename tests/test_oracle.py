@@ -1,0 +1,108 @@
+"""Fork-and-pre-execute oracle: shuffling, fits, validation accuracy."""
+
+import pytest
+
+from repro.dvfs.oracle import OracleSampler
+from repro.gpu.gpu import Gpu
+from repro.gpu.kernel import Kernel, WorkgroupGeometry
+
+from helpers import make_loop_program
+
+
+def make_gpu(config, trips=2000):
+    gpu = Gpu(config.gpu, initial_freq_ghz=config.dvfs.reference_freq_ghz)
+    gpu.load_kernel(
+        Kernel.homogeneous(make_loop_program(trips=trips), WorkgroupGeometry(4, 2))
+    )
+    gpu.run_epoch(1000.0)  # warm up
+    return gpu
+
+
+class TestShuffling:
+    def test_every_domain_sees_every_frequency(self, tiny_config):
+        sampler = OracleSampler(tiny_config)
+        n = len(tiny_config.dvfs.frequencies_ghz)
+        seen = [set() for _ in range(2)]
+        for s in range(n):
+            freqs = sampler._sample_freqs(s, 2)
+            for d, f in enumerate(freqs):
+                seen[d].add(f)
+        for d in range(2):
+            assert seen[d] == set(tiny_config.dvfs.frequencies_ghz)
+
+    def test_domains_decorrelated(self, tiny_config):
+        sampler = OracleSampler(tiny_config)
+        freqs = sampler._sample_freqs(0, 2)
+        assert freqs[0] != freqs[1]
+
+    def test_stride_multiple_adjusted(self, tiny_config):
+        # stride 10 == grid size would alias; constructor bumps it.
+        sampler = OracleSampler(tiny_config, shuffle_stride=10)
+        assert sampler.shuffle_stride != 10
+
+
+class TestSampleSubset:
+    def test_subset_spans_range(self, tiny_config):
+        sampler = OracleSampler(tiny_config, n_sample_freqs=4)
+        assert len(sampler.sample_grid) == 4
+        assert sampler.sample_grid[0] == tiny_config.dvfs.f_min
+        assert sampler.sample_grid[-1] == tiny_config.dvfs.f_max
+
+    def test_subset_too_small_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            OracleSampler(tiny_config, n_sample_freqs=1)
+
+    def test_full_grid_default(self, tiny_config):
+        sampler = OracleSampler(tiny_config)
+        assert sampler.sample_grid == tuple(tiny_config.dvfs.frequencies_ghz)
+
+
+class TestSampling:
+    def test_sample_produces_fit_per_domain(self, tiny_config):
+        gpu = make_gpu(tiny_config)
+        sample = OracleSampler(tiny_config, n_sample_freqs=4).sample(gpu)
+        assert len(sample.fits) == 2
+        assert len(sample.points[0]) == 4
+
+    def test_sampling_does_not_disturb_parent(self, tiny_config):
+        gpu = make_gpu(tiny_config)
+        before = gpu.clone()
+        OracleSampler(tiny_config, n_sample_freqs=4).sample(gpu)
+        a = gpu.run_epoch(1000.0)
+        b = before.run_epoch(1000.0)
+        assert a.committed_per_cu() == b.committed_per_cu()
+
+    def test_commits_at_returns_exact_point(self, tiny_config):
+        gpu = make_gpu(tiny_config)
+        sampler = OracleSampler(tiny_config, n_sample_freqs=4)
+        sample = sampler.sample(gpu)
+        for f, commits in sample.points[0]:
+            assert sample.commits_at(0, f) == commits
+        assert sample.commits_at(0, 9.99) is None
+
+    def test_lines_predict_commits_reasonably(self, tiny_config):
+        gpu = make_gpu(tiny_config)
+        sample = OracleSampler(tiny_config, n_sample_freqs=4).sample(gpu)
+        for d in range(2):
+            line = sample.lines[d]
+            for f, commits in sample.points[d]:
+                if commits > 0:
+                    assert line.predict(f) == pytest.approx(commits, rel=0.5)
+
+    def test_best_frequency_uses_score(self, tiny_config):
+        gpu = make_gpu(tiny_config)
+        sample = OracleSampler(tiny_config, n_sample_freqs=4).sample(gpu)
+        f_min = sample.best_frequency(0, lambda f, c: f)
+        f_max = sample.best_frequency(0, lambda f, c: -f)
+        assert f_min == tiny_config.dvfs.f_min
+        assert f_max == tiny_config.dvfs.f_max
+
+
+class TestValidation:
+    def test_validation_accuracy_high(self, tiny_config):
+        """The paper reports 97.6% for shuffled pre-execution vs
+        coherent re-execution; our substrate should be comparable."""
+        gpu = make_gpu(tiny_config, trips=3000)
+        sampler = OracleSampler(tiny_config)
+        acc = sampler.validation_accuracy(gpu, [1.7, 1.5])
+        assert acc > 0.9

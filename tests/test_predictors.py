@@ -1,0 +1,163 @@
+"""Predictors: reactive last-value, PC-based lookup/update, oracle-fed."""
+
+import pytest
+
+from repro.config import GpuConfig, MemoryConfig
+from repro.core.estimators import StallModel, WavefrontStallModel
+from repro.core.pc_table import PCTableConfig
+from repro.core.predictors import (
+    AccuratePCPredictor,
+    AccurateReactivePredictor,
+    ObserveContext,
+    OraclePredictor,
+    PCBasedPredictor,
+    ReactivePredictor,
+    StaticPredictor,
+)
+from repro.core.sensitivity import LinearSensitivity
+from repro.gpu.gpu import Gpu
+from repro.gpu.kernel import Kernel, WorkgroupGeometry
+
+from helpers import make_loop_program
+
+
+@pytest.fixture
+def gpu_config():
+    return GpuConfig(n_cus=2, waves_per_cu=4, memory=MemoryConfig(n_l2_banks=2))
+
+
+@pytest.fixture
+def epoch_result(gpu_config):
+    gpu = Gpu(gpu_config, 1.7)
+    gpu.load_kernel(
+        Kernel.homogeneous(make_loop_program(trips=2000), WorkgroupGeometry(4, 2))
+    )
+    gpu.run_epoch(1000.0)
+    return gpu.run_epoch(1000.0)
+
+
+def ctx(gpu_config, truth=None):
+    return ObserveContext(config=gpu_config, f_lo_ghz=1.3, f_hi_ghz=2.2, true_domain_lines=truth)
+
+
+class TestStaticPredictor:
+    def test_always_none(self, epoch_result, gpu_config):
+        p = StaticPredictor(2)
+        p.observe(epoch_result, ctx(gpu_config))
+        assert p.predict_domains() == [None, None]
+
+
+class TestReactivePredictor:
+    def test_no_prediction_before_first_epoch(self, gpu_config):
+        p = ReactivePredictor(StallModel(), gpu_config)
+        assert p.predict_domains() == [None, None]
+
+    def test_last_value_semantics(self, epoch_result, gpu_config):
+        p = ReactivePredictor(StallModel(), gpu_config)
+        p.observe(epoch_result, ctx(gpu_config))
+        first = p.predict_domains()
+        assert all(line is not None for line in first)
+        # Predicting again without new observation returns the same.
+        again = p.predict_domains()
+        assert [l.slope for l in again] == [l.slope for l in first]
+
+    def test_prediction_positive_for_running_workload(self, epoch_result, gpu_config):
+        p = ReactivePredictor(StallModel(), gpu_config)
+        p.observe(epoch_result, ctx(gpu_config))
+        for line in p.predict_domains():
+            assert line.predict(1.7) > 0
+
+
+class TestAccurateReactive:
+    def test_requires_truth(self, epoch_result, gpu_config):
+        p = AccurateReactivePredictor(gpu_config)
+        with pytest.raises(ValueError):
+            p.observe(epoch_result, ctx(gpu_config))
+
+    def test_returns_given_truth(self, epoch_result, gpu_config):
+        truth = [LinearSensitivity(100.0, 50.0), LinearSensitivity(10.0, 5.0)]
+        p = AccurateReactivePredictor(gpu_config)
+        p.observe(epoch_result, ctx(gpu_config, truth))
+        out = p.predict_domains()
+        assert out[0].slope == pytest.approx(50.0)
+        assert out[1].slope == pytest.approx(5.0)
+
+
+class TestPCBasedPredictor:
+    def test_tables_per_cu_by_default(self, gpu_config):
+        p = PCBasedPredictor(gpu_config)
+        assert len(p.tables) == gpu_config.n_cus
+
+    def test_shared_table(self, gpu_config):
+        p = PCBasedPredictor(gpu_config, cus_per_table=2)
+        assert len(p.tables) == 1
+        assert p.table_for_cu(0) is p.table_for_cu(1)
+
+    def test_rejects_bad_sharing(self, gpu_config):
+        with pytest.raises(ValueError):
+            PCBasedPredictor(gpu_config, cus_per_table=3)
+
+    def test_observe_populates_tables(self, epoch_result, gpu_config):
+        p = PCBasedPredictor(gpu_config)
+        p.observe(epoch_result, ctx(gpu_config))
+        assert any(t.updates > 0 for t in p.tables)
+
+    def test_predicts_after_observe(self, epoch_result, gpu_config):
+        p = PCBasedPredictor(gpu_config)
+        p.observe(epoch_result, ctx(gpu_config))
+        out = p.predict_domains()
+        assert all(line is not None for line in out)
+
+    def test_miss_falls_back_to_reactive(self, epoch_result, gpu_config):
+        # Tiny 1-entry table with 0 offset: constant collisions and
+        # misses; the fallback keeps predictions defined.
+        p = PCBasedPredictor(
+            gpu_config, table_config=PCTableConfig(n_entries=1, offset_bits=0)
+        )
+        p.observe(epoch_result, ctx(gpu_config))
+        out = p.predict_domains()
+        assert all(line is not None for line in out)
+
+    def test_hit_ratio_reported(self, gpu_config):
+        gpu = Gpu(gpu_config, 1.7)
+        gpu.load_kernel(
+            Kernel.homogeneous(make_loop_program(trips=3000), WorkgroupGeometry(4, 2))
+        )
+        p = PCBasedPredictor(gpu_config)
+        for _ in range(10):
+            r = gpu.run_epoch(1000.0)
+            p.observe(r, ctx(gpu_config))
+            p.predict_domains()
+        assert p.hit_ratio() > 0.5
+
+
+class TestAccuratePC:
+    def test_requires_truth(self, epoch_result, gpu_config):
+        p = AccuratePCPredictor(gpu_config)
+        with pytest.raises(ValueError):
+            p.observe(epoch_result, ctx(gpu_config))
+
+    def test_distributes_truth_to_tables(self, epoch_result, gpu_config):
+        truth = [LinearSensitivity(100.0, 40.0), LinearSensitivity(100.0, 40.0)]
+        p = AccuratePCPredictor(gpu_config)
+        p.observe(epoch_result, ctx(gpu_config, truth))
+        out = p.predict_domains()
+        # Sum of distributed per-wave lines approximates the truth.
+        assert out[0].slope == pytest.approx(40.0, rel=0.3)
+
+
+class TestOraclePredictor:
+    def test_future_truth_returned(self):
+        p = OraclePredictor(2)
+        lines = [LinearSensitivity(1.0, 2.0), LinearSensitivity(3.0, 4.0)]
+        p.set_future_truth(lines)
+        assert p.predict_domains()[1].slope == pytest.approx(4.0)
+
+    def test_rejects_wrong_length(self):
+        p = OraclePredictor(2)
+        with pytest.raises(ValueError):
+            p.set_future_truth([LinearSensitivity(1.0, 1.0)])
+
+    def test_flags(self):
+        assert OraclePredictor(1).needs_future_truth
+        assert not OraclePredictor(1).needs_elapsed_truth

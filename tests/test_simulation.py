@@ -1,0 +1,126 @@
+"""End-to-end DVFS simulation runs."""
+
+import pytest
+
+from repro.config import small_config
+from repro.core.objectives import EDnPObjective, PerformanceCapObjective
+from repro.dvfs.designs import make_controller
+from repro.dvfs.simulation import DvfsSimulation
+from repro.gpu.kernel import Kernel, WorkgroupGeometry
+
+from helpers import make_loop_program
+
+
+@pytest.fixture
+def cfg():
+    return small_config(n_cus=2, waves_per_cu=4)
+
+
+def kernels(trips=1500, n=1):
+    return [
+        Kernel.homogeneous(
+            make_loop_program(trips=trips, name=f"k{i}"), WorkgroupGeometry(4, 2)
+        )
+        for i in range(n)
+    ]
+
+
+def run(cfg, design, ks=None, **kw):
+    ctrl = make_controller(design, cfg, EDnPObjective(2))
+    sim = DvfsSimulation(ks or kernels(), ctrl, cfg, design_name=design,
+                         max_epochs=300, oracle_sample_freqs=4, **kw)
+    return sim.run()
+
+
+class TestBasicRuns:
+    def test_static_run_completes(self, cfg):
+        r = run(cfg, "STATIC@1.7")
+        assert r.epochs > 0
+        assert r.delay_ns > 0
+        assert r.energy.total > 0
+        assert r.total_committed > 0
+
+    def test_metrics_consistent(self, cfg):
+        r = run(cfg, "STATIC@1.7")
+        assert r.edp == pytest.approx(r.energy.total * r.delay_ns)
+        assert r.ed2p == pytest.approx(r.energy.total * r.delay_ns**2)
+        assert r.ednp(3) == pytest.approx(r.energy.total * r.delay_ns**3)
+
+    def test_every_design_runs(self, cfg):
+        for design in ("STALL", "CRISP", "ACCREAC", "PCSTALL", "ACCPC", "ORACLE"):
+            r = run(cfg, design)
+            assert r.epochs > 0, design
+
+    def test_multi_kernel_workload(self, cfg):
+        single = run(cfg, "STATIC@1.7", ks=kernels(n=1))
+        double = run(cfg, "STATIC@1.7", ks=kernels(n=2))
+        assert double.epochs > single.epochs
+
+    def test_empty_kernel_list_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            DvfsSimulation([], make_controller("STALL", cfg), cfg)
+
+    def test_max_epochs_caps_run(self, cfg):
+        ctrl = make_controller("STATIC@1.7", cfg)
+        r = DvfsSimulation(kernels(trips=100_000), ctrl, cfg, max_epochs=5).run()
+        assert r.epochs == 5
+
+
+class TestAccuracyTracking:
+    def test_static_has_no_accuracy(self, cfg):
+        assert run(cfg, "STATIC@1.7").prediction_accuracy is None
+
+    def test_dynamic_designs_scored(self, cfg):
+        for design in ("STALL", "PCSTALL"):
+            acc = run(cfg, design).prediction_accuracy
+            assert acc is not None
+            assert 0.0 <= acc <= 1.0
+
+    def test_oracle_accuracy_near_perfect(self, cfg):
+        acc = run(cfg, "ORACLE").prediction_accuracy
+        assert acc > 0.9
+
+    def test_pc_hit_ratio_reported_for_pc_designs(self, cfg):
+        assert run(cfg, "PCSTALL").pc_hit_ratio is not None
+        assert run(cfg, "STALL").pc_hit_ratio is None
+
+
+class TestResidencyAndTransitions:
+    def test_residency_sums_to_one(self, cfg):
+        r = run(cfg, "CRISP")
+        assert sum(r.frequency_residency.values()) == pytest.approx(1.0)
+
+    def test_static_never_transitions_after_start(self, cfg):
+        r = run(cfg, "STATIC@1.7")
+        # reference == 1.7, so not even an initial transition.
+        assert r.total_transitions == 0
+
+    def test_dynamic_design_transitions(self, cfg):
+        r = run(cfg, "CRISP")
+        assert r.total_transitions > 0
+
+
+class TestObjectives:
+    def test_performance_cap_objective_runs(self, cfg):
+        ctrl = make_controller("PCSTALL", cfg, PerformanceCapObjective(0.05))
+        r = DvfsSimulation(kernels(), ctrl, cfg, max_epochs=300).run()
+        assert r.epochs > 0
+
+    def test_cap_energy_below_max_frequency_static(self, cfg):
+        capped = DvfsSimulation(
+            kernels(), make_controller("PCSTALL", cfg, PerformanceCapObjective(0.10)),
+            cfg, max_epochs=300,
+        ).run()
+        top = DvfsSimulation(
+            kernels(), make_controller("STATIC@2.2", cfg), cfg, max_epochs=300
+        ).run()
+        assert capped.energy.total < top.energy.total
+
+
+class TestDeterminism:
+    def test_same_run_reproduces(self, cfg):
+        a = run(cfg, "PCSTALL")
+        b = run(cfg, "PCSTALL")
+        assert a.ed2p == pytest.approx(b.ed2p)
+        assert a.epochs == b.epochs
+        assert a.total_committed == b.total_committed

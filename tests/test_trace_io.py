@@ -1,0 +1,75 @@
+"""Trace/run export and import."""
+
+import pytest
+
+from repro.analysis.phases import profile_sensitivity
+from repro.analysis.trace_io import (
+    load_run_json,
+    load_trace_csv,
+    run_result_to_dict,
+    save_run_json,
+    save_trace_csv,
+    trace_to_rows,
+)
+from repro.config import small_config
+from repro.dvfs.designs import make_controller
+from repro.dvfs.simulation import DvfsSimulation
+from repro.workloads import build_workload, workload
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return small_config(n_cus=2, waves_per_cu=4)
+
+
+@pytest.fixture(scope="module")
+def run_result(cfg):
+    kernels = build_workload(workload("comd"), scale=0.1)
+    ctrl = make_controller("PCSTALL", cfg)
+    return DvfsSimulation(kernels, ctrl, cfg, max_epochs=100, collect_accuracy=True,
+                          oracle_sample_freqs=3).run()
+
+
+@pytest.fixture(scope="module")
+def trace(cfg):
+    kernels = build_workload(workload("comd"), scale=0.1)
+    return profile_sensitivity(kernels, cfg, max_epochs=6, workload_name="comd")
+
+
+class TestRunJson:
+    def test_dict_contains_metrics(self, run_result):
+        d = run_result_to_dict(run_result)
+        assert d["design"] == "PCSTALL"
+        assert d["ed2p"] == pytest.approx(run_result.ed2p)
+        assert abs(sum(d["frequency_residency"].values()) - 1.0) < 1e-6
+
+    def test_round_trip(self, run_result, tmp_path):
+        path = tmp_path / "run.json"
+        save_run_json(run_result, path)
+        loaded = load_run_json(path)
+        assert loaded["total_committed"] == run_result.total_committed
+        assert loaded["energy"]["total"] == pytest.approx(run_result.energy.total)
+
+
+class TestTraceCsv:
+    def test_rows_cover_all_levels(self, trace):
+        rows = trace_to_rows(trace)
+        levels = {r[1] for r in rows}
+        assert levels == {"cu", "domain", "wf"}
+
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert len(loaded) == len(trace_to_rows(trace))
+        cu_rows = [r for r in loaded if r["level"] == "cu"]
+        assert cu_rows[0]["slope"] == pytest.approx(trace.epochs[0].cu_slopes[0])
+
+    def test_commits_parsed(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        wf_rows = [r for r in loaded if r["level"] == "wf"]
+        assert all(isinstance(r["commits"], int) for r in wf_rows)
+        domain_rows = [r for r in loaded if r["level"] == "domain"]
+        assert all(r["commits"] is None for r in domain_rows)

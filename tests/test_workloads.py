@@ -1,0 +1,182 @@
+"""Workload generator and the 16-app suite."""
+
+import pytest
+
+from repro.config import small_config
+from repro.gpu.gpu import Gpu
+from repro.gpu.isa import InstructionKind
+from repro.workloads.generator import (
+    KernelSpec,
+    PhaseSpec,
+    build_kernel,
+    build_program,
+    build_workload,
+)
+from repro.workloads.suite import (
+    HPC_WORKLOADS,
+    MI_WORKLOADS,
+    WORKLOADS,
+    workload,
+    workload_names,
+)
+
+
+class TestPhaseSpec:
+    def test_defaults_valid(self):
+        PhaseSpec()
+
+    def test_rejects_empty_body(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(valu=0, loads=0, stores=0)
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(iterations=0)
+
+    def test_rejects_bad_fence(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(fence_every=0)
+
+
+class TestBuildProgram:
+    def test_unrolled_phase_repeats_body(self):
+        one = build_program([PhaseSpec(valu=4, loads=1, iterations=1)])
+        many = build_program([PhaseSpec(valu=4, loads=1, iterations=5)])
+        assert len(many) > len(one) * 3
+
+    def test_looped_phase_stays_small(self):
+        looped = build_program([PhaseSpec(valu=4, loads=1, iterations=50, unroll=False)])
+        unrolled = build_program([PhaseSpec(valu=4, loads=1, iterations=50)])
+        assert len(looped) < len(unrolled) / 5
+
+    def test_outer_loop_emitted(self):
+        p = build_program([PhaseSpec(valu=2, loads=0)], outer_iterations=10)
+        kinds = [i.kind for i in p.instructions]
+        assert InstructionKind.BRANCH in kinds
+
+    def test_fences_present(self):
+        p = build_program([PhaseSpec(valu=2, loads=4, fence_every=2, iterations=1)])
+        waits = sum(1 for i in p.instructions if i.kind is InstructionKind.WAITCNT)
+        assert waits == 2
+
+    def test_barrier_at_phase_end(self):
+        p = build_program([PhaseSpec(valu=2, loads=0, barrier_at_end=True, iterations=3)])
+        barriers = sum(1 for i in p.instructions if i.kind is InstructionKind.BARRIER)
+        assert barriers == 1  # per phase, after all unrolled iterations
+
+    def test_preamble_stagger(self):
+        base = build_program([PhaseSpec(valu=2, loads=0)])
+        staggered = build_program([PhaseSpec(valu=2, loads=0)], preamble_valu=7)
+        assert len(staggered) == len(base) + 7
+
+    def test_jitter_passed_to_instructions(self):
+        p = build_program([PhaseSpec(valu=1, loads=1, pattern_jitter=0.9, iterations=1)])
+        loads = [i for i in p.instructions if i.kind is InstructionKind.LOAD]
+        assert loads[0].pattern_jitter == pytest.approx(0.9)
+
+
+class TestBuildKernel:
+    def test_scale_shrinks_work(self):
+        spec = KernelSpec("k", (PhaseSpec(valu=4, loads=1),), outer_iterations=40)
+        full = build_kernel(spec, scale=1.0)
+        half = build_kernel(spec, scale=0.5)
+        # Outer loop trips differ, program length identical.
+        assert len(full.variants[0]) == len(half.variants[0])
+        full_branch = [i for i in full.variants[0].instructions if i.kind is InstructionKind.BRANCH][-1]
+        half_branch = [i for i in half.variants[0].instructions if i.kind is InstructionKind.BRANCH][-1]
+        assert full_branch.trip_count > half_branch.trip_count
+
+    def test_variants_generated(self):
+        spec = KernelSpec(
+            "k", (PhaseSpec(valu=8, loads=2),), n_variants=4, variant_jitter=0.4, seed=7
+        )
+        kernel = build_kernel(spec)
+        assert len(kernel.variants) == 4
+        lengths = {len(v) for v in kernel.variants}
+        assert len(lengths) > 1  # jitter changed the bodies
+
+    def test_deterministic_for_same_seed(self):
+        spec = KernelSpec("k", (PhaseSpec(valu=8, loads=2),), n_variants=3, variant_jitter=0.5, seed=9)
+        a = build_kernel(spec)
+        b = build_kernel(spec)
+        assert [len(v) for v in a.variants] == [len(v) for v in b.variants]
+
+    def test_stagger_offsets_variants(self):
+        spec = KernelSpec("k", (PhaseSpec(valu=4, loads=0),), n_variants=3, stagger_valu=10)
+        kernel = build_kernel(spec)
+        lengths = [len(v) for v in kernel.variants]
+        assert lengths[1] - lengths[0] == 10
+        assert lengths[2] - lengths[1] == 10
+
+
+class TestSuite:
+    def test_sixteen_workloads(self):
+        assert len(WORKLOADS) == 16
+        assert len(HPC_WORKLOADS) == 9
+        assert len(MI_WORKLOADS) == 7
+
+    def test_table2_names_present(self):
+        expected = {
+            "comd", "hpgmg", "lulesh", "minife", "xsbench", "hacc", "quickS",
+            "pennant", "snapc", "dgemm", "BwdBN", "BwdPool", "BwdSoft",
+            "FwdBN", "FwdPool", "FwdSoft",
+        }
+        assert set(workload_names()) == expected
+
+    def test_kernel_counts_match_table2(self):
+        assert len(workload("lulesh").kernels) == 27
+        assert len(workload("minife").kernels) == 3
+        assert len(workload("hacc").kernels) == 2
+        assert len(workload("pennant").kernels) == 5
+        assert len(workload("dgemm").kernels) == 1
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            workload("nope")
+
+    def test_all_workloads_build(self):
+        for name in workload_names():
+            ks = build_workload(workload(name), scale=0.1)
+            assert ks, name
+
+    def test_code_fits_pc_table_coverage(self):
+        """Bodies should be a few hundred instructions (Section 4.4)."""
+        for name in workload_names():
+            for kernel in build_workload(workload(name), scale=0.1):
+                assert kernel.static_instruction_count() < 1500, kernel.name
+
+    @pytest.mark.parametrize("name", ["comd", "xsbench", "dgemm", "BwdPool"])
+    def test_workload_runs_on_gpu(self, name):
+        cfg = small_config()
+        gpu = Gpu(cfg.gpu, 1.7)
+        for kernel in build_workload(workload(name), scale=0.05):
+            gpu.load_kernel(kernel)
+            for _ in range(200):
+                if gpu.done:
+                    break
+                gpu.run_epoch(1000.0)
+        assert gpu.done, name
+
+    def test_compute_vs_memory_character(self):
+        """dgemm's runtime must scale with frequency far more than
+        xsbench's (speedup at 2.2 vs 1.3 GHz)."""
+        cfg = small_config()
+
+        def speedup(name):
+            times = {}
+            for f in (1.3, 2.2):
+                gpu = Gpu(cfg.gpu, f)
+                kernels = build_workload(workload(name), scale=0.2)
+                gpu.load_kernel(kernels[0])
+                pending = kernels[1:]
+                for _ in range(400):
+                    if gpu.done:
+                        if not pending:
+                            break
+                        gpu.load_kernel(pending.pop(0))
+                    gpu.run_epoch(1000.0)
+                assert gpu.done
+                times[f] = gpu.completion_time
+            return times[1.3] / times[2.2]
+
+        assert speedup("dgemm") > speedup("xsbench") + 0.15
