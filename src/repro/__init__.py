@@ -13,6 +13,8 @@ Public API tour:
   end-to-end simulation.
 * :mod:`repro.workloads` - the 16-app synthetic suite.
 * :mod:`repro.analysis` - experiment drivers for every paper figure.
+* :mod:`repro.runtime` - parallel sweep executor, on-disk result cache,
+  sweep instrumentation.
 
 Quickstart::
 
@@ -38,8 +40,9 @@ from repro.config import (
     small_config,
 )
 from repro.dvfs import DESIGN_NAMES, DvfsSimulation, OracleSampler, make_controller
+from repro.runtime import ResultCache, SweepExecutor, SweepInstrumentation, SweepTask
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DvfsConfig",
@@ -54,5 +57,9 @@ __all__ = [
     "DvfsSimulation",
     "OracleSampler",
     "make_controller",
+    "ResultCache",
+    "SweepExecutor",
+    "SweepInstrumentation",
+    "SweepTask",
     "__version__",
 ]

@@ -47,10 +47,12 @@ from repro.analysis.report import format_series, format_table, geometric_mean
 from repro.config import SimConfig, small_config
 from repro.core.hardware import STORAGE_TABLE
 from repro.core.objectives import EDnPObjective, Objective, PerformanceCapObjective
-from repro.dvfs.designs import make_controller
 from repro.dvfs.oracle import OracleSampler
-from repro.dvfs.simulation import DvfsSimulation, RunResult
+from repro.dvfs.simulation import RunResult
 from repro.gpu.gpu import Gpu
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import SweepExecutor, SweepTask
+from repro.runtime.progress import SweepInstrumentation
 from repro.workloads import build_workload, workload, workload_names
 
 
@@ -66,13 +68,53 @@ class ExperimentSetup:
     max_epochs: int = 400
     #: Oracle pre-execution frequency count (None = full grid).
     oracle_sample_freqs: Optional[int] = 4
+    #: Process count the grid drivers fan cells across (1 = in-process).
+    workers: int = 1
+    #: Memoise cells on disk (see :mod:`repro.runtime.cache`).
+    use_cache: bool = False
+    #: Cache directory; None = ``.repro_cache`` / ``$REPRO_CACHE_DIR``.
+    cache_dir: Optional[str] = None
+    #: Per-cell timeout (seconds) for parallel sweeps; None = unbounded.
+    task_timeout_s: Optional[float] = None
 
     def workload_list(self) -> List[str]:
         return list(self.workloads) if self.workloads else workload_names()
 
+    def make_executor(
+        self, progress: Optional[SweepInstrumentation] = None
+    ) -> SweepExecutor:
+        """Executor configured from this setup's runtime knobs."""
+        return SweepExecutor(
+            max_workers=self.workers,
+            cache=ResultCache(self.cache_dir) if self.use_cache else None,
+            progress=progress or SweepInstrumentation(),
+            task_timeout_s=self.task_timeout_s,
+        )
+
 
 #: A fast default subset covering both categories and all characters.
 QUICK_WORKLOADS: Tuple[str, ...] = ("comd", "xsbench", "hacc", "dgemm", "BwdBN")
+
+
+def _task(
+    setup: ExperimentSetup,
+    workload_name: str,
+    design: str,
+    objective: Optional[Objective] = None,
+    config: Optional[SimConfig] = None,
+    collect_accuracy: bool = False,
+    scale: Optional[float] = None,
+) -> SweepTask:
+    return SweepTask(
+        workload=workload_name,
+        design=design,
+        config=config or setup.config,
+        scale=scale if scale is not None else setup.scale,
+        max_epochs=setup.max_epochs,
+        oracle_sample_freqs=setup.oracle_sample_freqs,
+        collect_accuracy=collect_accuracy,
+        objective=objective,
+    )
 
 
 def _run_design(
@@ -83,20 +125,9 @@ def _run_design(
     config: Optional[SimConfig] = None,
     collect_accuracy: bool = False,
 ) -> RunResult:
-    cfg = config or setup.config
-    kernels = build_workload(workload(workload_name), scale=setup.scale)
-    ctrl = make_controller(design, cfg, objective or EDnPObjective(2))
-    sim = DvfsSimulation(
-        kernels,
-        ctrl,
-        cfg,
-        design_name=design,
-        workload_name=workload_name,
-        collect_accuracy=collect_accuracy,
-        max_epochs=setup.max_epochs,
-        oracle_sample_freqs=setup.oracle_sample_freqs,
-    )
-    return sim.run()
+    """Run a single cell (cache-aware, always in-process)."""
+    task = _task(setup, workload_name, design, objective, config, collect_accuracy)
+    return setup.make_executor().run_one(task)
 
 
 def _with_epoch(config: SimConfig, epoch_ns: float) -> SimConfig:
@@ -421,19 +452,28 @@ def design_matrix(
     setup: ExperimentSetup,
     designs: Sequence[str] = EVAL_DESIGNS,
     objective: Optional[Objective] = None,
+    progress: Optional[SweepInstrumentation] = None,
 ) -> DesignMatrixResult:
-    """Run every design on every workload (the fig 14/15/16 data)."""
-    runs: Dict[str, Dict[str, RunResult]] = {}
-    baseline: Dict[str, RunResult] = {}
+    """Run every design on every workload (the fig 14/15/16 data).
+
+    All (workload x design) cells plus the static baselines fan out
+    across ``setup.workers`` processes; results are reassembled in a
+    deterministic order identical to a serial run.
+    """
+    wls = setup.workload_list()
     obj = objective or EDnPObjective(2)
-    for name in setup.workload_list():
-        baseline[name] = _run_design(setup, name, "STATIC@1.7")
-        row = {}
-        for design in designs:
-            row[design] = _run_design(
-                setup, name, design, objective=obj, collect_accuracy=True
-            )
-        runs[name] = row
+    tasks = [_task(setup, name, "STATIC@1.7") for name in wls]
+    cells = [
+        _task(setup, name, design, objective=obj, collect_accuracy=True)
+        for name in wls
+        for design in designs
+    ]
+    results = setup.make_executor(progress).run(tasks + cells)
+
+    baseline = dict(zip(wls, results[: len(wls)]))
+    runs: Dict[str, Dict[str, RunResult]] = {name: {} for name in wls}
+    for task, result in zip(cells, results[len(wls):]):
+        runs[task.workload][task.design] = result
     return DesignMatrixResult(runs, baseline)
 
 
@@ -475,27 +515,49 @@ def epoch_duration_trend(
     designs: Sequence[str] = ("CRISP", "ACCREAC", "PCSTALL", "ORACLE"),
     epoch_durations_ns: Sequence[float] = (1_000.0, 10_000.0, 50_000.0),
     n: int = 2,
+    progress: Optional[SweepInstrumentation] = None,
 ) -> EpochTrendResult:
     """Shared driver for Figures 1(a), 1(b) and 17.
 
     ``n`` selects the metric: 2 = ED2P (fig 1a), 1 = EDP (fig 17).
+    The whole (duration x workload x design) grid is submitted to the
+    executor as one batch so it parallelises across every dimension.
     """
-    values: Dict[float, Dict[str, float]] = {}
-    accuracies: Dict[float, Dict[str, float]] = {}
+    wls = setup.workload_list()
+    base_tasks: List[SweepTask] = []
+    cell_tasks: List[SweepTask] = []
     for epoch_ns in epoch_durations_ns:
         cfg = _with_epoch(setup.config, epoch_ns)
         # Longer epochs need longer runs to see several decisions.
-        scale_mult = max(1.0, epoch_ns / 4000.0)
-        sub = replace(setup, scale=setup.scale * scale_mult)
+        scale = setup.scale * max(1.0, epoch_ns / 4000.0)
+        for wname in wls:
+            base_tasks.append(
+                _task(setup, wname, "STATIC@1.7", config=cfg, scale=scale)
+            )
+            for d in designs:
+                cell_tasks.append(
+                    _task(
+                        setup, wname, d, objective=EDnPObjective(n), config=cfg,
+                        collect_accuracy=True, scale=scale,
+                    )
+                )
+    results = setup.make_executor(progress).run(base_tasks + cell_tasks)
+    base_results = results[: len(base_tasks)]
+    cell_results = iter(results[len(base_tasks):])
+    base_by_key = {
+        (t.config.dvfs.epoch_ns, t.workload): r
+        for t, r in zip(base_tasks, base_results)
+    }
+
+    values: Dict[float, Dict[str, float]] = {}
+    accuracies: Dict[float, Dict[str, float]] = {}
+    for epoch_ns in epoch_durations_ns:
         per_design: Dict[str, List[float]] = {d: [] for d in designs}
         per_acc: Dict[str, List[float]] = {d: [] for d in designs}
-        for wname in setup.workload_list():
-            base = _run_design(sub, wname, "STATIC@1.7", config=cfg)
+        for wname in wls:
+            base = base_by_key[(epoch_ns, wname)]
             for d in designs:
-                r = _run_design(
-                    sub, wname, d, objective=EDnPObjective(n), config=cfg,
-                    collect_accuracy=True,
-                )
+                r = next(cell_results)
                 per_design[d].append(r.ednp(n) / base.ednp(n))
                 if r.prediction_accuracy is not None:
                     per_acc[d].append(r.prediction_accuracy)
@@ -540,16 +602,27 @@ def fig18a_energy_savings(
     setup: ExperimentSetup,
     designs: Sequence[str] = ("CRISP", "PCSTALL"),
     caps: Sequence[float] = (0.05, 0.10),
+    progress: Optional[SweepInstrumentation] = None,
 ) -> Fig18aResult:
+    wls = setup.workload_list()
+    base_tasks = [_task(setup, w, f"STATIC@{setup.config.dvfs.f_max}") for w in wls]
+    cells = [
+        _task(setup, w, d, objective=PerformanceCapObjective(cap))
+        for cap in caps
+        for d in designs
+        for w in wls
+    ]
+    results = setup.make_executor(progress).run(base_tasks + cells)
+    base = dict(zip(wls, results[: len(wls)]))
+    cell_results = iter(results[len(wls):])
+
     savings: Dict[float, Dict[str, float]] = {c: {} for c in caps}
     degradation: Dict[float, Dict[str, float]] = {c: {} for c in caps}
-    wls = setup.workload_list()
-    base = {w: _run_design(setup, w, f"STATIC@{setup.config.dvfs.f_max}") for w in wls}
     for cap in caps:
         for d in designs:
             e_ratios, d_ratios = [], []
             for w in wls:
-                r = _run_design(setup, w, d, objective=PerformanceCapObjective(cap))
+                r = next(cell_results)
                 e_ratios.append(r.energy.total / base[w].energy.total)
                 d_ratios.append(r.delay_ns / base[w].delay_ns)
             savings[cap][d] = 1.0 - geometric_mean(e_ratios)
@@ -583,19 +656,30 @@ def fig18b_granularity(
     setup: ExperimentSetup,
     designs: Sequence[str] = ("CRISP", "PCSTALL", "ORACLE"),
     granularities: Optional[Sequence[int]] = None,
+    progress: Optional[SweepInstrumentation] = None,
 ) -> Fig18bResult:
     n_cus = setup.config.gpu.n_cus
     if granularities is None:
         granularities = [g for g in (1, 2, 4, 8, 16, 32) if g <= n_cus]
+    wls = setup.workload_list()
+    configs = {
+        g: replace(setup.config, gpu=replace(setup.config.gpu, cus_per_domain=g))
+        for g in granularities
+    }
+    tasks = []
+    for g in granularities:
+        for w in wls:
+            tasks.append(_task(setup, w, "STATIC@1.7", config=configs[g]))
+            tasks.extend(_task(setup, w, d, config=configs[g]) for d in designs)
+    results = iter(setup.make_executor(progress).run(tasks))
+
     out: Dict[int, Dict[str, float]] = {}
     for g in granularities:
-        cfg = replace(setup.config, gpu=replace(setup.config.gpu, cus_per_domain=g))
         per_design: Dict[str, List[float]] = {d: [] for d in designs}
-        for w in setup.workload_list():
-            base = _run_design(setup, w, "STATIC@1.7", config=cfg)
+        for w in wls:
+            base = next(results)
             for d in designs:
-                r = _run_design(setup, w, d, config=cfg)
-                per_design[d].append(r.ed2p / base.ed2p)
+                per_design[d].append(next(results).ed2p / base.ed2p)
         out[g] = {d: geometric_mean(v) for d, v in per_design.items()}
     return Fig18bResult(out)
 

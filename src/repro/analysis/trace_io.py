@@ -29,6 +29,7 @@ def run_result_to_dict(result: RunResult) -> Dict:
         "design": result.design,
         "workload": result.workload,
         "epochs": result.epochs,
+        "completed": result.completed,
         "delay_ns": result.delay_ns,
         "energy": {
             "total": result.energy.total,

@@ -4,10 +4,15 @@ Commands:
 
 * ``run``      - run one workload under one design, print the summary.
 * ``compare``  - run several designs on one workload, print a table.
+* ``figure``   - regenerate a paper figure's sweep, with ``--workers``.
 * ``suite``    - list the workload suite (TABLE II).
 * ``designs``  - list the design registry (TABLE III + extensions).
 * ``profile``  - oracle-profile a workload's sensitivity trace, export CSV.
 * ``storage``  - print the TABLE I storage-overhead model.
+
+Sweep commands (``run``/``compare``/``figure``) accept ``--workers N``
+to fan cells across processes, and cache results on disk (disable with
+``--no-cache``; relocate with ``--cache-dir``).
 """
 
 from __future__ import annotations
@@ -19,8 +24,8 @@ from typing import List, Optional
 from repro.analysis.report import format_table
 from repro.config import small_config
 from repro.core.objectives import EDnPObjective, PerformanceCapObjective
-from repro.dvfs.designs import DESIGN_NAMES, EXTENSION_DESIGNS, make_controller
-from repro.dvfs.simulation import DvfsSimulation
+from repro.dvfs.designs import DESIGN_NAMES, EXTENSION_DESIGNS
+from repro.runtime import ResultCache, SweepExecutor, SweepInstrumentation, SweepTask
 from repro.workloads import WORKLOADS, build_workload, workload, workload_names
 
 
@@ -41,21 +46,36 @@ def _config(args):
     )
 
 
-def _run_one(args, design: str):
-    cfg = _config(args)
-    kernels = build_workload(workload(args.workload), scale=args.scale)
-    ctrl = make_controller(design, cfg, _objective(args))
-    sim = DvfsSimulation(
-        kernels, ctrl, cfg, design_name=design, workload_name=args.workload,
-        max_epochs=args.max_epochs, oracle_sample_freqs=4, collect_accuracy=True,
+def _executor(args, progress: Optional[SweepInstrumentation] = None) -> SweepExecutor:
+    return SweepExecutor(
+        max_workers=args.workers,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+        progress=progress or SweepInstrumentation(),
     )
-    return sim.run()
+
+
+def _sweep_task(args, design: str) -> SweepTask:
+    return SweepTask(
+        workload=args.workload,
+        design=design,
+        config=_config(args),
+        scale=args.scale,
+        max_epochs=args.max_epochs,
+        oracle_sample_freqs=4,
+        collect_accuracy=True,
+        objective=_objective(args),
+    )
+
+
+def _run_one(args, design: str):
+    return _executor(args).run_one(_sweep_task(args, design))
 
 
 def cmd_run(args) -> int:
     r = _run_one(args, args.design)
     rows = [
         ["epochs", r.epochs],
+        ["completed", str(r.completed)],
         ["delay (us)", r.delay_ns / 1e3],
         ["energy", r.energy.total],
         ["EDP", r.edp],
@@ -76,12 +96,11 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     designs = args.designs.split(",")
+    progress = SweepInstrumentation(name=f"compare {args.workload}")
+    results = _executor(args, progress).run([_sweep_task(args, d) for d in designs])
+    baseline = results[0]
     rows = []
-    baseline = None
-    for d in designs:
-        r = _run_one(args, d)
-        if baseline is None:
-            baseline = r
+    for d, r in zip(designs, results):
         rows.append([
             d, r.delay_ns / 1e3, r.energy.total, r.ed2p / baseline.ed2p,
             "-" if r.prediction_accuracy is None else f"{r.prediction_accuracy:.3f}",
@@ -90,6 +109,63 @@ def cmd_compare(args) -> int:
         ["design", "delay (us)", "energy", f"ED2P vs {designs[0]}", "accuracy"],
         rows, title=f"{args.workload}: design comparison",
     ))
+    if args.verbose:
+        print()
+        print(progress.summary())
+    return 0
+
+
+#: Figures the ``figure`` command can regenerate, with quick defaults.
+FIGURE_NAMES = ("fig01", "fig14", "fig15", "fig16", "fig17", "fig18a", "fig18b")
+
+
+def cmd_figure(args) -> int:
+    from repro.analysis import experiments as ex
+
+    workloads = tuple(args.workloads.split(",")) if args.workloads else ex.QUICK_WORKLOADS
+    setup = ex.ExperimentSetup(
+        config=_config(args),
+        workloads=workloads,
+        scale=args.scale,
+        max_epochs=args.max_epochs,
+        oracle_sample_freqs=4,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    designs = tuple(args.designs.split(",")) if args.designs else None
+    progress = SweepInstrumentation(name=f"figure {args.figure}", max_workers=args.workers)
+
+    if args.figure in ("fig14", "fig15", "fig16"):
+        matrix = ex.design_matrix(
+            setup, designs=designs or ex.EVAL_DESIGNS, progress=progress
+        )
+        text = {
+            "fig14": matrix.render_fig14,
+            "fig15": matrix.render_fig15,
+            "fig16": matrix.render_fig16,
+        }[args.figure]()
+    elif args.figure in ("fig01", "fig17"):
+        n = 2 if args.figure == "fig01" else 1
+        trend = ex.epoch_duration_trend(
+            setup, designs=designs or ("CRISP", "ACCREAC", "PCSTALL", "ORACLE"),
+            n=n, progress=progress,
+        )
+        text = trend.render()
+    elif args.figure == "fig18a":
+        text = ex.fig18a_energy_savings(
+            setup, designs=designs or ("CRISP", "PCSTALL"), progress=progress
+        ).render()
+    elif args.figure == "fig18b":
+        text = ex.fig18b_granularity(
+            setup, designs=designs or ("CRISP", "PCSTALL", "ORACLE"), progress=progress
+        ).render()
+    else:  # pragma: no cover - argparse choices guard this
+        raise SystemExit(f"unknown figure {args.figure!r}")
+
+    print(text)
+    print()
+    print(progress.summary())
     return 0
 
 
@@ -166,6 +242,16 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--max-epochs", type=int, default=400)
         sp.add_argument("--objective", default="ed2p",
                         help="ed1p | ed2p | capN (N%% degradation cap)")
+        runtime(sp)
+
+    def runtime(sp):
+        sp.add_argument("--workers", type=int, default=1,
+                        help="processes to fan sweep cells across (default 1)")
+        sp.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+        sp.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default .repro_cache "
+                             "or $REPRO_CACHE_DIR)")
 
     sp = sub.add_parser("run", help="run one workload under one design")
     common(sp)
@@ -176,7 +262,26 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("compare", help="compare designs on one workload")
     common(sp)
     sp.add_argument("--designs", default="STATIC@1.7,CRISP,PCSTALL")
+    sp.add_argument("--verbose", action="store_true",
+                    help="also print the sweep instrumentation summary")
     sp.set_defaults(fn=cmd_compare)
+
+    sp = sub.add_parser(
+        "figure", help="regenerate a paper figure's sweep (parallel + cached)"
+    )
+    sp.add_argument("figure", choices=FIGURE_NAMES)
+    sp.add_argument("--workloads", default=None,
+                    help="comma-separated workload subset (default: quick five)")
+    sp.add_argument("--designs", default=None,
+                    help="comma-separated design subset (default: per figure)")
+    sp.add_argument("--cus", type=int, default=4)
+    sp.add_argument("--waves", type=int, default=8)
+    sp.add_argument("--cus-per-domain", type=int, default=1)
+    sp.add_argument("--epoch-us", type=float, default=1.0)
+    sp.add_argument("--scale", type=float, default=0.3)
+    sp.add_argument("--max-epochs", type=int, default=250)
+    runtime(sp)
+    sp.set_defaults(fn=cmd_figure)
 
     sp = sub.add_parser("suite", help="list the workload suite")
     sp.set_defaults(fn=cmd_suite)

@@ -22,6 +22,7 @@ pre-executed commit counts are to a re-execution at the same frequencies.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -43,10 +44,19 @@ class OracleSample:
     def lines(self) -> List[LinearSensitivity]:
         return [f.model for f in self.fits]
 
+    #: Frequency matching tolerance for :meth:`commits_at`. The V/f grid
+    #: is 100 MHz-spaced (0.1 GHz), so 1 kHz absolute / 1e-9 relative
+    #: slack absorbs round-tripping through unit conversion or grid
+    #: regeneration without ever bridging two distinct grid points.
+    FREQ_ABS_TOL_GHZ = 1e-6
+    FREQ_REL_TOL = 1e-9
+
     def commits_at(self, domain: int, f_ghz: float) -> Optional[int]:
         """Exact pre-executed commits of a domain at a sampled frequency."""
         for f, commits in self.points[domain]:
-            if f == f_ghz:
+            if math.isclose(
+                f, f_ghz, rel_tol=self.FREQ_REL_TOL, abs_tol=self.FREQ_ABS_TOL_GHZ
+            ):
                 return commits
         return None
 
@@ -61,6 +71,17 @@ class OracleSample:
         return best_f
 
 
+def _pre_execute_sample(child: Gpu, freqs: List[float], epoch_ns: float) -> List[int]:
+    """Run one pre-execution sample (module-level so it pickles to workers).
+
+    Pre-execution measures workload behaviour, not transition overhead,
+    so the frequency switch is free here.
+    """
+    child.set_domain_frequencies(freqs, transition_latency_ns=0.0)
+    result = child.run_epoch(epoch_ns)
+    return child.committed_per_domain(result)
+
+
 class OracleSampler:
     """Runs the fork-and-pre-execute sampling for one epoch."""
 
@@ -69,6 +90,7 @@ class OracleSampler:
         sim_config: SimConfig,
         shuffle_stride: int = 3,
         n_sample_freqs: Optional[int] = None,
+        max_workers: int = 1,
     ) -> None:
         """
         Args:
@@ -78,8 +100,17 @@ class OracleSampler:
                 frequencies instead of the whole grid (the fitted line
                 still predicts every state). Cuts oracle cost for the
                 big sweeps; None = full grid (paper's 10 processes).
+            max_workers: pre-execute the sample grid across this many
+                processes (the paper's "10 processes", Section 5.1).
+                1 = in-process. Worth it only when each pre-execution is
+                expensive (paper-scale GPUs / long epochs): every sample
+                ships a snapshot of the GPU to a worker. Falls back to
+                serial execution if the snapshot cannot be pickled or
+                the pool cannot start.
         """
         self.config = sim_config
+        self.max_workers = max(1, int(max_workers))
+        self._pool = None
         full = sim_config.dvfs.frequencies_ghz
         if n_sample_freqs is None or n_sample_freqs >= len(full):
             self.sample_grid: Tuple[float, ...] = tuple(full)
@@ -99,6 +130,43 @@ class OracleSampler:
         n = len(grid)
         return [grid[(sample_idx + self.shuffle_stride * d) % n] for d in range(n_domains)]
 
+    # ------------------------------------------------------------------
+    # Parallel pre-execution plumbing
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import concurrent.futures
+
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the pre-execution worker pool, if one was started."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _pre_execute_all(
+        self, gpu: Gpu, epoch: float, all_freqs: List[List[float]]
+    ) -> List[List[int]]:
+        """Per-sample committed-per-domain counts, one row per sample."""
+        if self.max_workers > 1 and len(all_freqs) > 1:
+            try:
+                pool = self._ensure_pool()
+                futures = [
+                    pool.submit(_pre_execute_sample, gpu.clone(), freqs, epoch)
+                    for freqs in all_freqs
+                ]
+                return [f.result() for f in futures]
+            except Exception:
+                # Un-picklable snapshot or a broken/unavailable pool:
+                # permanently demote this sampler to serial execution.
+                self.close()
+                self.max_workers = 1
+        return [_pre_execute_sample(gpu.clone(), freqs, epoch) for freqs in all_freqs]
+
     def sample(self, gpu: Gpu, epoch_ns: Optional[float] = None) -> OracleSample:
         """Pre-execute the upcoming epoch once per frequency state."""
         epoch = epoch_ns if epoch_ns is not None else self.config.dvfs.epoch_ns
@@ -106,14 +174,8 @@ class OracleSampler:
         n_domains = len(gpu.domains)
         per_domain: List[List[Tuple[float, int]]] = [[] for _ in range(n_domains)]
 
-        for s in range(len(grid)):
-            child = gpu.clone()
-            freqs = self._sample_freqs(s, n_domains)
-            # Pre-execution measures workload behaviour, not transition
-            # overhead, so the frequency switch is free here.
-            child.set_domain_frequencies(freqs, transition_latency_ns=0.0)
-            result = child.run_epoch(epoch)
-            commits = child.committed_per_domain(result)
+        all_freqs = [self._sample_freqs(s, n_domains) for s in range(len(grid))]
+        for freqs, commits in zip(all_freqs, self._pre_execute_all(gpu, epoch, all_freqs)):
             for d in range(n_domains):
                 per_domain[d].append((freqs[d], commits[d]))
 

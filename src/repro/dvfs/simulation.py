@@ -18,6 +18,7 @@ drains, the next kernel is dispatched within the same run (e.g. lulesh's
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -51,6 +52,10 @@ class RunResult:
     total_transitions: int
     #: PC-table hit ratio, when the design has tables.
     pc_hit_ratio: Optional[float] = None
+    #: False when the run hit ``max_epochs`` with work still resident -
+    #: its delay (and thus EDP/ED2P) covers only the simulated window
+    #: and is not comparable against completed runs.
+    completed: bool = True
 
     @property
     def edp(self) -> float:
@@ -77,6 +82,7 @@ class DvfsSimulation:
         collect_accuracy: bool = False,
         max_epochs: int = 5_000,
         oracle_sample_freqs: Optional[int] = None,
+        oracle_workers: int = 1,
         power_manager: Optional["HierarchicalPowerManager"] = None,
     ) -> None:
         if not kernels:
@@ -92,7 +98,11 @@ class DvfsSimulation:
             predictor.needs_elapsed_truth or predictor.needs_future_truth or collect_accuracy
         )
         self._oracle = (
-            OracleSampler(sim_config, n_sample_freqs=oracle_sample_freqs)
+            OracleSampler(
+                sim_config,
+                n_sample_freqs=oracle_sample_freqs,
+                max_workers=oracle_workers,
+            )
             if self.needs_truth
             else None
         )
@@ -159,9 +169,27 @@ class DvfsSimulation:
             truth = sample.lines if (sample and predictor.needs_elapsed_truth) else None
             self.controller.observe(result, true_domain_lines=truth)
 
-        delay = gpu.completion_time if gpu.done else gpu.time
-        if delay <= 0.0:
+        if self._oracle is not None:
+            self._oracle.close()
+
+        completed = gpu.done and not pending
+        if completed:
+            # The last epoch overshoots the final retirement, so wall-clock
+            # delay is when the last wavefront retired, not gpu.time.
+            delay = gpu.completion_time
+            if delay <= 0.0:  # degenerate: nothing ever retired
+                delay = gpu.time
+        else:
+            # Truncated at max_epochs: only the simulated window elapsed.
             delay = gpu.time
+            warnings.warn(
+                f"{self.workload_name}/{self.design_name}: run truncated at "
+                f"max_epochs={self.max_epochs} with work still resident; "
+                "delay/EDP cover only the simulated window "
+                "(RunResult.completed=False)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
         hit_ratio = None
         if hasattr(predictor, "hit_ratio"):
@@ -180,6 +208,7 @@ class DvfsSimulation:
             total_committed=total_committed,
             total_transitions=total_transitions,
             pc_hit_ratio=hit_ratio,
+            completed=completed,
         )
 
 

@@ -1,0 +1,34 @@
+"""Parallel experiment runtime: sweep executor, result cache, instrumentation.
+
+* :class:`~repro.runtime.executor.SweepExecutor` fans independent
+  (workload x design x config) simulation cells across a process pool
+  with deterministic ordering and serial fallback.
+* :class:`~repro.runtime.cache.ResultCache` memoises cell results on
+  disk, keyed by a content hash of everything the result depends on.
+* :class:`~repro.runtime.progress.SweepInstrumentation` records per-cell
+  wall time, cache hit/miss counts and worker utilisation.
+"""
+
+from repro.runtime.cache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    default_cache_dir,
+    task_key,
+)
+from repro.runtime.executor import SweepExecutor, SweepTask, SweepTimeoutError, run_task
+from repro.runtime.progress import CellRecord, SweepInstrumentation
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "CellRecord",
+    "ResultCache",
+    "SweepExecutor",
+    "SweepInstrumentation",
+    "SweepTask",
+    "SweepTimeoutError",
+    "default_cache_dir",
+    "run_task",
+    "task_key",
+]

@@ -1,0 +1,144 @@
+"""On-disk result cache for sweep cells.
+
+Every (workload x design x platform) simulation is deterministic, so its
+:class:`~repro.dvfs.simulation.RunResult` can be reused as long as
+nothing that feeds the simulation changed. The cache key is a SHA-256
+content hash over a canonical JSON encoding of everything a cell depends
+on:
+
+* the full :class:`~repro.config.SimConfig` (GPU geometry, memory
+  timing, DVFS grid/epoch, power model, seed),
+* design name, workload name, work scale, ``max_epochs``,
+* oracle sampling and accuracy-collection settings,
+* a stable description of the objective (class name + constructor
+  state),
+* the package version plus a cache-format version.
+
+Bumping ``repro.__version__`` therefore invalidates every entry, which
+is the coarse-but-safe answer to "the simulator code changed".
+
+Entries are pickled ``RunResult`` objects, one file per key, under the
+cache directory (default ``.repro_cache/`` in the working directory;
+``REPRO_CACHE_DIR`` overrides it). A corrupted, truncated or
+unreadable entry is treated as a miss and recomputed - never an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+from typing import Any, Dict, Mapping, Optional, Union
+
+PathLike = Union[str, pathlib.Path]
+
+#: Bump when the on-disk entry layout or key recipe changes.
+CACHE_FORMAT_VERSION = 1
+
+#: Default cache directory name (created in the current working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _code_version() -> str:
+    from repro import __version__
+
+    return f"{__version__}/cache-v{CACHE_FORMAT_VERSION}"
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce a value to a deterministic JSON-encodable structure."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    # Objects (e.g. objectives) reduce to class name + public state.
+    state = {
+        k: _canonical(v)
+        for k, v in sorted(vars(obj).items())
+        if not k.startswith("_")
+    }
+    return {"__class__": type(obj).__name__, **state}
+
+
+def describe_objective(objective: Optional[Any]) -> Any:
+    """Stable key fragment for an objective (None = driver default)."""
+    return _canonical(objective) if objective is not None else None
+
+
+def task_key(fields: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of a cell's canonicalised input fields."""
+    payload = _canonical(dict(fields))
+    payload["code_version"] = _code_version()
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> pathlib.Path:
+    return pathlib.Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+class ResultCache:
+    """One-file-per-key pickle store with hit/miss counters."""
+
+    def __init__(self, cache_dir: Optional[PathLike] = None) -> None:
+        self.dir = pathlib.Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.dir / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached value, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as f:
+                value = pickle.load(f)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            # Missing, truncated, or stale-class entries all mean "recompute".
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        self.dir.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_suffix(".tmp")
+        try:
+            with open(tmp, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            # Caching is best-effort; a read-only or full disk is not fatal.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "default_cache_dir",
+    "describe_objective",
+    "task_key",
+]

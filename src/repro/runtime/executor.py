@@ -1,0 +1,242 @@
+"""Process-pool sweep executor for (workload x design x config) grids.
+
+The paper parallelised its fork-and-pre-execute methodology across "10
+processes" (Section 5.1); the same observation applies one level up:
+every cell of an evaluation grid is an independent deterministic
+simulation, so a figure's (workload x design) matrix fans out across
+cores. :class:`SweepExecutor` does that with
+:class:`concurrent.futures.ProcessPoolExecutor` while guaranteeing:
+
+* **Deterministic ordering** - ``run(tasks)[i]`` is always the result of
+  ``tasks[i]``, however the pool interleaved them.
+* **Bit-identical results** - workers execute exactly the same
+  :func:`run_task` code path as a serial run, so parallelism never
+  changes a number.
+* **Graceful degradation** - ``max_workers=1``, a single pending cell,
+  or any pickling/pool failure falls back to in-process execution (the
+  failure is recorded in the instrumentation, not raised).
+* **Per-task timeout** - a hung cell raises :class:`SweepTimeoutError`
+  naming the cell instead of stalling the sweep forever.
+
+Cells are transparently memoised through
+:class:`~repro.runtime.cache.ResultCache` when one is supplied.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pickle
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.core.objectives import Objective
+from repro.runtime.cache import ResultCache, describe_objective, task_key
+from repro.runtime.progress import (
+    SOURCE_CACHE,
+    SOURCE_PARALLEL,
+    SOURCE_SERIAL,
+    CellRecord,
+    SweepInstrumentation,
+)
+
+
+class SweepTimeoutError(RuntimeError):
+    """A sweep cell exceeded the per-task timeout."""
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One self-contained sweep cell.
+
+    Carries names and config - not live simulator objects - so the task
+    pickles cheaply to a worker process, which rebuilds the workload and
+    controller locally via :func:`run_task`.
+    """
+
+    workload: str
+    design: str
+    config: SimConfig
+    scale: float = 0.4
+    max_epochs: int = 400
+    oracle_sample_freqs: Optional[int] = 4
+    collect_accuracy: bool = False
+    objective: Optional[Objective] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}/{self.design}"
+
+    def cache_fields(self) -> Dict[str, object]:
+        """Everything the simulation result depends on (see cache.py)."""
+        return {
+            "workload": self.workload,
+            "design": self.design,
+            "config": self.config,
+            "scale": self.scale,
+            "max_epochs": self.max_epochs,
+            "oracle_sample_freqs": self.oracle_sample_freqs,
+            "collect_accuracy": self.collect_accuracy,
+            "objective": describe_objective(self.objective),
+        }
+
+    def key(self) -> str:
+        return task_key(self.cache_fields())
+
+
+def run_task(task: SweepTask):
+    """Execute one cell to completion (runs in worker processes too)."""
+    # Local imports keep worker start-up lean and avoid import cycles.
+    from repro.dvfs.designs import make_controller
+    from repro.dvfs.simulation import DvfsSimulation
+    from repro.workloads import build_workload, workload
+
+    kernels = build_workload(workload(task.workload), scale=task.scale)
+    ctrl = make_controller(task.design, task.config, task.objective)
+    sim = DvfsSimulation(
+        kernels,
+        ctrl,
+        task.config,
+        design_name=task.design,
+        workload_name=task.workload,
+        collect_accuracy=task.collect_accuracy,
+        max_epochs=task.max_epochs,
+        oracle_sample_freqs=task.oracle_sample_freqs,
+    )
+    return sim.run()
+
+
+def _run_task_timed(task: SweepTask) -> Tuple[object, float]:
+    t0 = time.perf_counter()
+    result = run_task(task)
+    return result, time.perf_counter() - t0
+
+
+#: Exceptions that mean "this grid cannot cross the process boundary";
+#: they demote the sweep to serial execution rather than failing it.
+_FALLBACK_ERRORS = (
+    pickle.PicklingError,
+    BrokenProcessPool,
+    TypeError,
+    AttributeError,
+    ImportError,
+    OSError,
+)
+
+
+@dataclass
+class SweepExecutor:
+    """Runs sweep cells across a process pool with caching."""
+
+    max_workers: int = 1
+    cache: Optional[ResultCache] = None
+    progress: SweepInstrumentation = field(default_factory=SweepInstrumentation)
+    #: Per-cell timeout in seconds, measured from collection start
+    #: (includes queueing); None disables the guard.
+    task_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.progress.max_workers = max(self.progress.max_workers, self.max_workers)
+
+    # ------------------------------------------------------------------
+
+    def run(self, tasks: Sequence[SweepTask]) -> List:
+        """Execute every task; ``run(tasks)[i]`` belongs to ``tasks[i]``."""
+        tasks = list(tasks)
+        started_here = self.progress._t_start is None
+        if started_here:
+            self.progress.start()
+        try:
+            results: List[Optional[object]] = [None] * len(tasks)
+            pending: List[int] = []
+            for i, task in enumerate(tasks):
+                cached = self.cache.get(task.key()) if self.cache is not None else None
+                if cached is not None:
+                    results[i] = cached
+                    self.progress.record_cell(
+                        CellRecord(task.label, task.workload, task.design, 0.0, SOURCE_CACHE)
+                    )
+                else:
+                    pending.append(i)
+
+            if self.max_workers <= 1 or len(pending) <= 1:
+                self._run_serial(tasks, pending, results)
+            else:
+                self._run_parallel(tasks, pending, results)
+            return results  # type: ignore[return-value]
+        finally:
+            if started_here:
+                self.progress.finish()
+
+    def run_one(self, task: SweepTask):
+        return self.run([task])[0]
+
+    # ------------------------------------------------------------------
+
+    def _finish_cell(
+        self, task: SweepTask, result: object, elapsed: float, source: str
+    ) -> None:
+        if self.cache is not None:
+            self.cache.put(task.key(), result)
+        self.progress.record_cell(
+            CellRecord(task.label, task.workload, task.design, elapsed, source)
+        )
+
+    def _run_serial(
+        self, tasks: Sequence[SweepTask], pending: Sequence[int], results: List
+    ) -> None:
+        for i in pending:
+            result, elapsed = _run_task_timed(tasks[i])
+            results[i] = result
+            self._finish_cell(tasks[i], result, elapsed, SOURCE_SERIAL)
+
+    def _run_parallel(
+        self, tasks: Sequence[SweepTask], pending: Sequence[int], results: List
+    ) -> None:
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.max_workers)
+        except (OSError, ValueError) as exc:  # e.g. no /dev/shm, fork limits
+            self.progress.note(f"process pool unavailable ({exc!r}); running serially")
+            self._run_serial(tasks, pending, results)
+            return
+
+        remaining = list(pending)
+        with pool:
+            try:
+                futures = {i: pool.submit(_run_task_timed, tasks[i]) for i in pending}
+            except _FALLBACK_ERRORS as exc:
+                self.progress.note(f"submit failed ({exc!r}); running serially")
+                self._run_serial(tasks, pending, results)
+                return
+
+            for i in pending:
+                try:
+                    result, elapsed = futures[i].result(timeout=self.task_timeout_s)
+                except concurrent.futures.TimeoutError:
+                    for j in remaining:
+                        futures[j].cancel()
+                    raise SweepTimeoutError(
+                        f"sweep cell {tasks[i].label} exceeded "
+                        f"{self.task_timeout_s:.1f}s"
+                    ) from None
+                except _FALLBACK_ERRORS as exc:
+                    # Un-picklable grid or a broken pool: finish what the
+                    # pool could not, in-process, without losing work.
+                    self.progress.note(
+                        f"parallel execution failed ({exc!r}); "
+                        f"finishing {len(remaining)} cell(s) serially"
+                    )
+                    for j in list(remaining):
+                        futures[j].cancel()
+                    self._run_serial(tasks, remaining, results)
+                    return
+                results[i] = result
+                remaining.remove(i)
+                self._finish_cell(tasks[i], result, elapsed, SOURCE_PARALLEL)
+
+
+__all__ = ["SweepExecutor", "SweepTask", "SweepTimeoutError", "run_task"]

@@ -1,0 +1,137 @@
+"""Sweep instrumentation: per-cell wall time, cache hits, utilisation.
+
+The executor feeds one :class:`CellRecord` per (workload x design) cell
+into a :class:`SweepInstrumentation`; :meth:`SweepInstrumentation.summary`
+renders the aggregate through :mod:`repro.analysis.report` so figure
+drivers and the CLI can show where a sweep spent its time and how well
+the worker pool was used.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: How a cell's result was obtained.
+SOURCE_CACHE = "cache"
+SOURCE_SERIAL = "serial"
+SOURCE_PARALLEL = "parallel"
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """Outcome of one sweep cell."""
+
+    label: str
+    workload: str
+    design: str
+    #: Compute time of the cell itself (0 for cache hits).
+    wall_s: float
+    #: One of :data:`SOURCE_CACHE` / :data:`SOURCE_SERIAL` / :data:`SOURCE_PARALLEL`.
+    source: str
+
+
+@dataclass
+class SweepInstrumentation:
+    """Accumulates cell records and events for one sweep."""
+
+    name: str = "sweep"
+    max_workers: int = 1
+    cells: List[CellRecord] = field(default_factory=list)
+    events: List[str] = field(default_factory=list)
+    _t_start: Optional[float] = None
+    _t_end: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._t_start = time.perf_counter()
+
+    def finish(self) -> None:
+        self._t_end = time.perf_counter()
+
+    def record_cell(self, record: CellRecord) -> None:
+        self.cells.append(record)
+
+    def note(self, message: str) -> None:
+        """Record a notable event (e.g. a fallback to serial execution)."""
+        self.events.append(message)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for c in self.cells if c.source == SOURCE_CACHE)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for c in self.cells if c.source != SOURCE_CACHE)
+
+    @property
+    def compute_s(self) -> float:
+        """Summed per-cell compute time (across all workers)."""
+        return sum(c.wall_s for c in self.cells)
+
+    @property
+    def wall_s(self) -> float:
+        if self._t_start is None:
+            return 0.0
+        end = self._t_end if self._t_end is not None else time.perf_counter()
+        return end - self._t_start
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the pool's capacity that did cell work, in [0, 1]."""
+        capacity = self.wall_s * max(1, self.max_workers)
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self.compute_s / capacity)
+
+    def slowest_cells(self, n: int = 3) -> List[CellRecord]:
+        return sorted(self.cells, key=lambda c: -c.wall_s)[:n]
+
+    def summary(self) -> str:
+        """Render the aggregate instrumentation as an ASCII table."""
+        # Imported here: repro.analysis pulls in the experiment drivers,
+        # which import this module (cycle at import time, fine at call time).
+        from repro.analysis.report import format_table
+
+        rows = [
+            ["cells", len(self.cells)],
+            ["cache hits", self.cache_hits],
+            ["cache misses", self.cache_misses],
+            ["workers", self.max_workers],
+            ["wall time (s)", self.wall_s],
+            ["compute time (s)", self.compute_s],
+            ["worker utilisation", self.utilisation],
+        ]
+        for c in self.slowest_cells():
+            rows.append([f"slowest: {c.label}", c.wall_s])
+        for e in self.events:
+            rows.append(["note", e])
+        return format_table(
+            ["metric", "value"], rows, title=f"Sweep instrumentation: {self.name}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "cells": len(self.cells),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "workers": self.max_workers,
+            "wall_s": self.wall_s,
+            "compute_s": self.compute_s,
+            "utilisation": self.utilisation,
+            "events": list(self.events),
+        }
+
+
+__all__ = [
+    "CellRecord",
+    "SweepInstrumentation",
+    "SOURCE_CACHE",
+    "SOURCE_SERIAL",
+    "SOURCE_PARALLEL",
+]

@@ -67,6 +67,10 @@ class TestTopLevel:
         "repro.analysis.experiments",
         "repro.analysis.trace_io",
         "repro.analysis.report",
+        "repro.runtime",
+        "repro.runtime.executor",
+        "repro.runtime.cache",
+        "repro.runtime.progress",
     ],
 )
 def test_module_all_exports_resolve(module):

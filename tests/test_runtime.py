@@ -1,0 +1,186 @@
+"""Parallel sweep executor, on-disk result cache, instrumentation."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.analysis.trace_io import run_result_to_dict
+from repro.config import small_config
+from repro.core.objectives import EDnPObjective, PerformanceCapObjective
+from repro.runtime.cache import ResultCache, describe_objective, task_key
+from repro.runtime.executor import (
+    SweepExecutor,
+    SweepTask,
+    SweepTimeoutError,
+    run_task,
+)
+from repro.runtime.progress import SOURCE_CACHE, CellRecord, SweepInstrumentation
+
+
+CFG = small_config(n_cus=2, waves_per_cu=4)
+
+
+def make_task(workload="comd", design="STATIC@1.7", scale=0.1, max_epochs=60, **kw):
+    return SweepTask(
+        workload=workload, design=design, config=CFG, scale=scale,
+        max_epochs=max_epochs, oracle_sample_freqs=3, **kw
+    )
+
+
+GRID = [
+    make_task(w, d)
+    for w in ("comd", "xsbench")
+    for d in ("STATIC@1.7", "PCSTALL")
+]
+
+
+class TestCacheKey:
+    def test_identical_tasks_same_key(self):
+        assert make_task().key() == make_task().key()
+
+    def test_each_field_changes_key(self):
+        base = make_task().key()
+        assert make_task(workload="xsbench").key() != base
+        assert make_task(design="STALL").key() != base
+        assert make_task(scale=0.2).key() != base
+        assert make_task(max_epochs=61).key() != base
+        assert make_task(collect_accuracy=True).key() != base
+
+    def test_config_change_changes_key(self):
+        cfg2 = dataclasses.replace(
+            CFG, dvfs=dataclasses.replace(CFG.dvfs, epoch_ns=2000.0)
+        )
+        changed = SweepTask("comd", "STATIC@1.7", cfg2, scale=0.1, max_epochs=60,
+                            oracle_sample_freqs=3)
+        assert changed.key() != make_task().key()
+
+    def test_objective_state_changes_key(self):
+        a = make_task(objective=EDnPObjective(1)).key()
+        b = make_task(objective=EDnPObjective(2)).key()
+        c = make_task(objective=PerformanceCapObjective(0.05)).key()
+        assert len({a, b, c, make_task().key()}) == 4
+
+    def test_objective_description_is_stable(self):
+        assert describe_objective(EDnPObjective(2)) == describe_objective(
+            EDnPObjective(2)
+        )
+        assert describe_objective(None) is None
+
+    def test_key_is_hex_digest(self):
+        key = task_key({"x": 1})
+        assert len(key) == 64
+        int(key, 16)
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"answer": 42})
+        assert cache.get("k") == {"answer": 42}
+        assert cache.hits == 1
+
+    def test_missing_key_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+
+    def test_corrupted_entry_recomputes_not_crashes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", [1, 2, 3])
+        cache.path_for("k").write_bytes(b"not a pickle")
+        assert cache.get("k") is None
+
+    def test_truncated_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", list(range(100)))
+        blob = cache.path_for("k").read_bytes()
+        cache.path_for("k").write_bytes(blob[: len(blob) // 2])
+        assert cache.get("k") is None
+
+    def test_corrupted_cell_recomputed_by_executor(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = make_task()
+        first = SweepExecutor(cache=cache).run_one(task)
+        cache.path_for(task.key()).write_bytes(b"\x80garbage")
+        again = SweepExecutor(cache=ResultCache(tmp_path)).run_one(task)
+        assert run_result_to_dict(first) == run_result_to_dict(again)
+
+
+class TestExecutor:
+    def test_run_one_matches_direct_run(self):
+        direct = run_task(make_task())
+        via_executor = SweepExecutor().run_one(make_task())
+        assert run_result_to_dict(direct) == run_result_to_dict(via_executor)
+
+    def test_parallel_results_bit_identical_to_serial(self):
+        serial = SweepExecutor(max_workers=1).run(GRID)
+        parallel = SweepExecutor(max_workers=2).run(GRID)
+        for s, p in zip(serial, parallel):
+            assert run_result_to_dict(s) == run_result_to_dict(p)
+            assert s.delay_ns == p.delay_ns
+            assert s.energy.total == p.energy.total
+
+    def test_result_order_matches_task_order(self):
+        results = SweepExecutor(max_workers=2).run(GRID)
+        for task, result in zip(GRID, results):
+            assert result.workload == task.workload
+            assert result.design == task.design
+
+    def test_rerun_hits_cache_with_identical_results(self, tmp_path):
+        first = SweepExecutor(max_workers=2, cache=ResultCache(tmp_path)).run(GRID)
+        cache = ResultCache(tmp_path)
+        second = SweepExecutor(max_workers=2, cache=cache).run(GRID)
+        assert cache.hits == len(GRID)
+        assert cache.misses == 0
+        for a, b in zip(first, second):
+            assert run_result_to_dict(a) == run_result_to_dict(b)
+
+    def test_unpicklable_grid_falls_back_to_serial(self):
+        obj = EDnPObjective(2)
+        obj.hook = lambda: None  # lambdas cannot cross the process boundary
+        tasks = [make_task(design="STALL", objective=obj),
+                 make_task(workload="xsbench", design="STALL", objective=obj)]
+        ex = SweepExecutor(max_workers=2)
+        results = ex.run(tasks)
+        assert all(r is not None for r in results)
+        assert ex.progress.events  # the fallback was recorded
+
+    def test_task_timeout_raises(self):
+        slow = [make_task(scale=0.5, max_epochs=400),
+                make_task(workload="xsbench", scale=0.5, max_epochs=400)]
+        ex = SweepExecutor(max_workers=2, task_timeout_s=1e-4)
+        with pytest.raises(SweepTimeoutError):
+            ex.run(slow)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(max_workers=0)
+
+
+class TestInstrumentation:
+    def test_counters_and_summary(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ex = SweepExecutor(cache=cache)
+        ex.run(GRID[:2])
+        prog = SweepInstrumentation(name="again")
+        ex2 = SweepExecutor(cache=ResultCache(tmp_path), progress=prog)
+        ex2.run(GRID[:2])
+        assert prog.cache_hits == 2
+        assert prog.cache_misses == 0
+        text = prog.summary()
+        assert "cache hits" in text
+        assert "again" in text
+
+    def test_cell_records_track_source(self):
+        prog = SweepInstrumentation()
+        prog.record_cell(CellRecord("a/b", "a", "b", 0.0, SOURCE_CACHE))
+        assert prog.cache_hits == 1
+        assert prog.compute_s == 0.0
+
+    def test_utilisation_bounded(self):
+        prog = SweepInstrumentation(max_workers=4)
+        prog.start()
+        prog.record_cell(CellRecord("a/b", "a", "b", 1e6, "serial"))
+        prog.finish()
+        assert 0.0 <= prog.utilisation <= 1.0

@@ -62,8 +62,42 @@ class TestBasicRuns:
 
     def test_max_epochs_caps_run(self, cfg):
         ctrl = make_controller("STATIC@1.7", cfg)
-        r = DvfsSimulation(kernels(trips=100_000), ctrl, cfg, max_epochs=5).run()
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            r = DvfsSimulation(kernels(trips=100_000), ctrl, cfg, max_epochs=5).run()
         assert r.epochs == 5
+
+
+class TestCompletionSemantics:
+    def test_completed_run_flagged_and_uses_retire_time(self, cfg):
+        r = run(cfg, "STATIC@1.7")
+        assert r.completed is True
+        # Delay is the last retirement, which the final (partial) epoch
+        # overshoots: it must be positive and within the epoch grid span.
+        assert 0.0 < r.delay_ns <= r.epochs * cfg.dvfs.epoch_ns
+
+    def test_truncated_run_flagged_with_window_delay(self, cfg):
+        ctrl = make_controller("STATIC@1.7", cfg)
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            r = DvfsSimulation(kernels(trips=100_000), ctrl, cfg, max_epochs=7).run()
+        assert r.completed is False
+        # A truncated run's delay is exactly the simulated window.
+        assert r.delay_ns == pytest.approx(7 * cfg.dvfs.epoch_ns)
+
+    def test_truncation_between_kernels_still_flagged(self, cfg):
+        # max_epochs lands after kernel 1 finishes but before kernel 2
+        # is dispatched & drained - still an incomplete workload.
+        ctrl = make_controller("STATIC@1.7", cfg)
+        probe = DvfsSimulation(kernels(n=1), ctrl, cfg, max_epochs=300).run()
+        ctrl2 = make_controller("STATIC@1.7", cfg)
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            r = DvfsSimulation(
+                kernels(n=2), ctrl2, cfg, max_epochs=probe.epochs
+            ).run()
+        assert r.completed is False
+
+    def test_completed_run_emits_no_warning(self, cfg, recwarn):
+        run(cfg, "STATIC@1.7")
+        assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
 
 
 class TestAccuracyTracking:
