@@ -42,7 +42,7 @@ from repro.config import (
 from repro.dvfs import DESIGN_NAMES, DvfsSimulation, OracleSampler, make_controller
 from repro.runtime import ResultCache, SweepExecutor, SweepInstrumentation, SweepTask
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DvfsConfig",

@@ -46,6 +46,7 @@ def run_result_to_dict(result: RunResult) -> Dict:
         "frequency_residency": {
             f"{f:.2f}": share for f, share in result.frequency_residency.items()
         },
+        "hotpath": result.hotpath,
     }
 
 

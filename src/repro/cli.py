@@ -7,7 +7,11 @@ Commands:
 * ``figure``   - regenerate a paper figure's sweep, with ``--workers``.
 * ``suite``    - list the workload suite (TABLE II).
 * ``designs``  - list the design registry (TABLE III + extensions).
-* ``profile``  - oracle-profile a workload's sensitivity trace, export CSV.
+* ``profile``  - oracle-profile a workload's sensitivity trace (CSV
+  export), or with ``--hotpath`` run one workload x design cell and
+  print the timing engine's hot-path work counters (``--cprofile FILE``
+  additionally captures a real profile; ``--engine reference`` runs the
+  pre-event-engine loop for comparison).
 * ``storage``  - print the TABLE I storage-overhead model.
 
 Sweep commands (``run``/``compare``/``figure``) accept ``--workers N``
@@ -38,12 +42,18 @@ def _objective(args):
 
 
 def _config(args):
-    return small_config(
+    cfg = small_config(
         n_cus=args.cus,
         waves_per_cu=args.waves,
         epoch_ns=args.epoch_us * 1000.0,
         cus_per_domain=args.cus_per_domain,
     )
+    engine = getattr(args, "engine", "event")
+    if engine != cfg.gpu.engine:
+        from dataclasses import replace
+
+        cfg = replace(cfg, gpu=replace(cfg.gpu, engine=engine))
+    return cfg
 
 
 def _executor(args, progress: Optional[SweepInstrumentation] = None) -> SweepExecutor:
@@ -188,6 +198,47 @@ def cmd_designs(_args) -> int:
 
 
 def cmd_profile(args) -> int:
+    from repro.runtime.profiling import maybe_cprofile
+
+    with maybe_cprofile(args.cprofile):
+        code = _profile_hotpath(args) if args.hotpath else _profile_sensitivity(args)
+    if args.cprofile:
+        print(f"\ncProfile stats written to {args.cprofile} "
+              f"(inspect with: python -m pstats {args.cprofile})")
+    return code
+
+
+def _profile_hotpath(args) -> int:
+    """Run one workload x design and print the engine's work counters."""
+    from repro.runtime.executor import run_task
+    from repro.runtime.profiling import format_hotpath
+
+    result = run_task(_sweep_task(args, args.design))
+    print(format_hotpath(
+        result.hotpath or {},
+        title=f"{args.workload} under {args.design}: hot-path counters "
+              f"({args.engine} engine)",
+    ))
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "workload": args.workload,
+                    "design": args.design,
+                    "engine": args.engine,
+                    "hotpath": result.hotpath or {},
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+        print(f"\nhot-path counters written to {args.json}")
+    return 0
+
+
+def _profile_sensitivity(args) -> int:
     from repro.analysis.phases import (
         consecutive_epoch_change,
         profile_sensitivity,
@@ -289,9 +340,26 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("designs", help="list the design registry")
     sp.set_defaults(fn=cmd_designs)
 
-    sp = sub.add_parser("profile", help="oracle-profile a workload")
+    sp = sub.add_parser(
+        "profile",
+        help="oracle-profile a workload's sensitivity, or (--hotpath) "
+             "count the timing engine's hot-path work",
+    )
     common(sp)
     sp.add_argument("--csv", help="write the per-epoch trace to this CSV file")
+    sp.add_argument("--hotpath", action="store_true",
+                    help="run one workload x design simulation and print "
+                         "the hot-path event counters instead of the "
+                         "sensitivity trace")
+    sp.add_argument("--design", default="PCSTALL",
+                    help="design to simulate with --hotpath (default PCSTALL)")
+    sp.add_argument("--engine", choices=("event", "reference"), default="event",
+                    help="timing-engine implementation (reference = the "
+                         "pre-event-engine rescan loop, for comparisons)")
+    sp.add_argument("--cprofile", metavar="FILE",
+                    help="wrap the command in cProfile and dump stats to FILE")
+    sp.add_argument("--json", metavar="FILE",
+                    help="with --hotpath: also write the counters to FILE")
     sp.set_defaults(fn=cmd_profile)
 
     sp = sub.add_parser("storage", help="print TABLE I storage overheads")

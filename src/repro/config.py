@@ -93,8 +93,18 @@ class GpuConfig:
     #: cross-domain arrival skew (a simulation artifact) well below real
     #: contention effects.
     sync_quantum_ns: float = 10.0
+    #: Timing-engine implementation. ``"event"`` (the default) keeps a
+    #: maintained ready queue plus a wakeup heap per CU and batches
+    #: straight-line compute; ``"reference"`` is the original per-cycle
+    #: rescan loop, kept as the golden baseline for the bit-identical
+    #: equivalence tests. Both produce identical results.
+    engine: str = "event"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("event", "reference"):
+            raise ValueError(
+                f"engine must be 'event' or 'reference', got {self.engine!r}"
+            )
         if self.n_cus <= 0:
             raise ValueError("n_cus must be positive")
         if self.cus_per_domain <= 0 or self.n_cus % self.cus_per_domain:

@@ -31,6 +31,7 @@ from repro.gpu.gpu import Gpu
 from repro.gpu.kernel import Kernel
 from repro.power.energy import EnergyAccountant, EnergyBreakdown
 from repro.power.model import PowerModel
+from repro.runtime.profiling import collect_hotpath
 
 
 @dataclass
@@ -56,6 +57,9 @@ class RunResult:
     #: its delay (and thus EDP/ED2P) covers only the simulated window
     #: and is not comparable against completed runs.
     completed: bool = True
+    #: Hot-path profiler counters for the whole run (see
+    #: :mod:`repro.runtime.profiling`); observational only.
+    hotpath: Optional[Dict[str, int]] = None
 
     @property
     def edp(self) -> float:
@@ -130,47 +134,52 @@ class DvfsSimulation:
         total_transitions = 0
         epochs = 0
 
-        while epochs < self.max_epochs:
-            if gpu.done:
-                if not pending:
-                    break
-                gpu.load_kernel(pending.pop(0))
+        try:
+            while epochs < self.max_epochs:
+                if gpu.done:
+                    if not pending:
+                        break
+                    gpu.load_kernel(pending.pop(0))
 
-            sample: Optional[OracleSample] = None
+                sample: Optional[OracleSample] = None
+                if self._oracle is not None:
+                    sample = self._oracle.sample(gpu, epoch_ns)
+                    if predictor.needs_future_truth:
+                        predictor.set_future_truth(sample.lines)  # type: ignore[attr-defined]
+
+                freqs = self.controller.decide()
+                changed = gpu.set_domain_frequencies(freqs, transition_latency_ns=trans_ns)
+                total_transitions += changed
+
+                result = gpu.run_epoch(epoch_ns)
+                epochs += 1
+                total_committed += result.total_committed()
+                accountant.add_epoch(result)
+                if self.power_manager is not None:
+                    self.power_manager.observe_epoch(
+                        accountant.power_trace[-1], result.duration_ns
+                    )
+
+                predictions = self.controller.last_predictions()
+                actual_per_domain = gpu.committed_per_domain(result)
+                for d, line in enumerate(predictions):
+                    if line is None:
+                        continue
+                    actual = actual_per_domain[d]
+                    if actual <= 0:
+                        continue
+                    predicted = line.predict(freqs[d])
+                    accuracies.append(max(0.0, 1.0 - abs(predicted - actual) / actual))
+
+                truth = sample.lines if (sample and predictor.needs_elapsed_truth) else None
+                self.controller.observe(result, true_domain_lines=truth)
+        finally:
+            # A raising kernel/predictor must not leak the oracle's
+            # worker pool (its processes outlive the exception).
             if self._oracle is not None:
-                sample = self._oracle.sample(gpu, epoch_ns)
-                if predictor.needs_future_truth:
-                    predictor.set_future_truth(sample.lines)  # type: ignore[attr-defined]
+                self._oracle.close()
 
-            freqs = self.controller.decide()
-            changed = gpu.set_domain_frequencies(freqs, transition_latency_ns=trans_ns)
-            total_transitions += changed
-
-            result = gpu.run_epoch(epoch_ns)
-            epochs += 1
-            total_committed += result.total_committed()
-            accountant.add_epoch(result)
-            if self.power_manager is not None:
-                self.power_manager.observe_epoch(
-                    accountant.power_trace[-1], result.duration_ns
-                )
-
-            predictions = self.controller.last_predictions()
-            actual_per_domain = gpu.committed_per_domain(result)
-            for d, line in enumerate(predictions):
-                if line is None:
-                    continue
-                actual = actual_per_domain[d]
-                if actual <= 0:
-                    continue
-                predicted = line.predict(freqs[d])
-                accuracies.append(max(0.0, 1.0 - abs(predicted - actual) / actual))
-
-            truth = sample.lines if (sample and predictor.needs_elapsed_truth) else None
-            self.controller.observe(result, true_domain_lines=truth)
-
-        if self._oracle is not None:
-            self._oracle.close()
+        hotpath = collect_hotpath(gpu, self._oracle)
 
         completed = gpu.done and not pending
         if completed:
@@ -209,6 +218,7 @@ class DvfsSimulation:
             total_transitions=total_transitions,
             pc_hit_ratio=hit_ratio,
             completed=completed,
+            hotpath=hotpath,
         )
 
 

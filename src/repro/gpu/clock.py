@@ -64,5 +64,14 @@ class DomainMap:
         out.domains = [d.clone() for d in self.domains]
         return out
 
+    def capture(self) -> tuple:
+        """Flat-tuple snapshot of the mutable per-domain state."""
+        return tuple((d.frequency_ghz, d.transitions) for d in self.domains)
+
+    def restore_capture(self, cap: tuple) -> None:
+        for domain, (freq, transitions) in zip(self.domains, cap):
+            domain.frequency_ghz = freq
+            domain.transitions = transitions
+
 
 __all__ = ["ClockDomain", "DomainMap"]

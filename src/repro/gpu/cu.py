@@ -11,13 +11,32 @@ the next completion. Compute cycles cost ``1/f`` ns (frequency-dependent);
 L1 hits are served inside the CU's V/f domain (cycles); L1 misses go to
 the shared :class:`~repro.gpu.memory.MemorySubsystem` (fixed-frequency
 nanoseconds).
+
+Two scheduler implementations share all issue/retire/memory semantics
+(selected by ``GpuConfig.engine``):
+
+* ``"event"`` (default): maintained event state. Runnable wavefronts live
+  in exactly one of two heaps - a ready pool ordered by age and a wakeup
+  heap ordered by ``ready_at`` - so each cycle touches only the waves
+  that can actually issue, and ``_next_wakeup`` is a heap peek instead of
+  a scan over every resident wave. When a single wavefront is runnable
+  and no wakeup is pending, consecutive compute/branch instructions are
+  batched through :meth:`ComputeUnit._run_batch` as one timing event
+  stream. Both paths replay the reference loop's float operations in the
+  same order, so results are bit-identical.
+* ``"reference"``: the original per-cycle rescan loop, kept verbatim as
+  the golden baseline for the equivalence tests (including its
+  scheduling quirk: retiring a wave mid-scan skips the wave that shifts
+  into its list position for the remainder of that cycle's scan - the
+  event engine reproduces this with an explicit skip mark).
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import GpuConfig
 from repro.gpu.isa import InstructionKind, Program
@@ -26,6 +45,12 @@ from repro.gpu.wavefront import Wavefront
 
 #: A pending workgroup: tuple of (workgroup_id, wave_in_group, program).
 PendingWave = Tuple[int, int, Program]
+
+_VALU = InstructionKind.VALU
+_SALU = InstructionKind.SALU
+_BRANCH = InstructionKind.BRANCH
+_BARRIER = InstructionKind.BARRIER
+_ENDPGM = InstructionKind.ENDPGM
 
 
 @dataclass
@@ -60,6 +85,30 @@ class CuEpochStats:
         out.__dict__.update(self.__dict__)
         return out
 
+    def capture(self) -> tuple:
+        return (
+            self.committed,
+            self.committed_compute,
+            self.committed_memory,
+            self.issued,
+            self.active_cycles,
+            self.core_busy_ns,
+            self.loads,
+            self.stores,
+        )
+
+    def restore_capture(self, cap: tuple) -> None:
+        (
+            self.committed,
+            self.committed_compute,
+            self.committed_memory,
+            self.issued,
+            self.active_cycles,
+            self.core_busy_ns,
+            self.loads,
+            self.stores,
+        ) = cap
+
 
 class ComputeUnit:
     """One compute unit of the GPU."""
@@ -75,7 +124,7 @@ class ComputeUnit:
         #: Pending workgroups waiting for free slots; each entry is the
         #: full list of that workgroup's waves (dispatched atomically so
         #: barriers cannot deadlock).
-        self.pending_workgroups: List[Tuple[PendingWave, ...]] = []
+        self.pending_workgroups: Deque[Tuple[PendingWave, ...]] = deque()
         #: Min-heap of (completion_ns, seq, wf_id, is_store).
         self.completions: List[Tuple[float, int, int, bool]] = []
         self._completion_seq = 0
@@ -90,6 +139,32 @@ class ComputeUnit:
         self.stats = CuEpochStats()
         #: Time the most recent wavefront retired (completion tracking).
         self.last_retire_time = 0.0
+        #: Position of each resident wave in ``waves`` (O(1) retire).
+        self._wave_pos: Dict[int, int] = {}
+        # --- event-engine state -------------------------------------
+        # Invariant between scheduler steps: every runnable (not done,
+        # not blocked) resident wave sits in exactly one of the two
+        # heaps; ages (and (ready_at, age) pairs) are unique, so heap
+        # pop order never depends on internal array layout.
+        self._event_engine = config.engine != "reference"
+        #: Ready pool: (age, wf) for runnable waves with ready_at due.
+        self._ready: List[Tuple[int, Wavefront]] = []
+        #: Wakeup heap: (ready_at, age, wf) for runnable waves not yet due.
+        self._wakeups: List[Tuple[float, int, Wavefront]] = []
+        #: Count of runnable resident waves (maintained in both engines).
+        self._runnable = 0
+        #: Current scheduler time, used by ``_wake`` to route pushes.
+        self._cycle_now = 0.0
+        #: Waves to skip for the remainder of the current issue scan
+        #: (reproduces the reference loop's retire-shift quirk).
+        self._skip: Optional[List[Wavefront]] = None
+        self._in_scan = False
+        # --- hot-path counters (observational only; never read by the
+        # timing model - see repro.runtime.profiling) -----------------
+        self.ctr_cycles = 0
+        self.ctr_waves_scanned = 0
+        self.ctr_batched = 0
+        self.ctr_completions = 0
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -101,7 +176,7 @@ class ComputeUnit:
         """Dispatch whole pending workgroups while slots allow."""
         free = self.config.waves_per_cu - len(self.waves)
         while self.pending_workgroups and len(self.pending_workgroups[0]) <= free:
-            group = self.pending_workgroups.pop(0)
+            group = self.pending_workgroups.popleft()
             for wg_id, wave_in_group, program in group:
                 wf = Wavefront(
                     wf_id=self._next_wf_id,
@@ -114,9 +189,11 @@ class ComputeUnit:
                 wf.stats.reset(wf.pc_idx)
                 self._next_wf_id += 1
                 self._next_age += 1
+                self._wave_pos[wf.wf_id] = len(self.waves)
                 self.waves.append(wf)
                 self.wave_by_id[wf.wf_id] = wf
                 self.wg_alive[wg_id] = self.wg_alive.get(wg_id, 0) + 1
+                self._wake(wf)
             free = self.config.waves_per_cu - len(self.waves)
 
     @property
@@ -143,10 +220,194 @@ class ComputeUnit:
             wf.settle_stall(epoch_end, self.epoch_start)
 
     # ------------------------------------------------------------------
+    # Event bookkeeping
+
+    def _wake(self, wf: Wavefront) -> None:
+        """A resident wave became runnable (dispatched or unblocked)."""
+        self._runnable += 1
+        if self._event_engine:
+            if wf.ready_at <= self._cycle_now:
+                heapq.heappush(self._ready, (wf.age, wf))
+            else:
+                heapq.heappush(self._wakeups, (wf.ready_at, wf.age, wf))
+
+    def _rebuild_event_state(self) -> None:
+        """Reclassify runnable waves into the two heaps (clone/restore).
+
+        Valid because heap keys are unique: the next refill merges the
+        pools exactly as the original schedule would have.
+        """
+        ready: List[Tuple[int, Wavefront]] = []
+        wakeups: List[Tuple[float, int, Wavefront]] = []
+        runnable = 0
+        now = self._cycle_now
+        event = self._event_engine
+        for wf in self.waves:
+            if wf.done or wf.blocked:
+                continue
+            runnable += 1
+            if event:
+                if wf.ready_at <= now:
+                    ready.append((wf.age, wf))
+                else:
+                    wakeups.append((wf.ready_at, wf.age, wf))
+        heapq.heapify(ready)
+        heapq.heapify(wakeups)
+        self._ready = ready
+        self._wakeups = wakeups
+        self._runnable = runnable
+
+    # ------------------------------------------------------------------
     # Execution
 
     def run_until(self, t_end: float, mem: MemorySubsystem) -> None:
         """Advance this CU's local clock to ``t_end``."""
+        if not self._event_engine:
+            self._run_until_reference(t_end, mem)
+            return
+        if self.now >= t_end:
+            self.now = t_end
+            return
+        cycle = 1.0 / self.frequency_ghz
+        issue_width = self.config.issue_width
+        ready = self._ready
+        wakeups = self._wakeups
+        completions = self.completions
+        stats = self.stats
+        now = self.now
+        while now < t_end:
+            self._cycle_now = now
+            self.ctr_cycles += 1
+            if completions and completions[0][0] <= now:
+                self._deliver_completions(now)
+            while wakeups and wakeups[0][0] <= now:
+                _, age, wf = heapq.heappop(wakeups)
+                heapq.heappush(ready, (age, wf))
+            if len(ready) == 1 and not wakeups:
+                wf = ready[0][1]
+                kind = wf.program[wf.pc_idx].kind
+                if kind is _VALU or kind is _SALU or kind is _BRANCH:
+                    heapq.heappop(ready)
+                    now = self._run_batch(wf, now, t_end, cycle, mem)
+                    # Always re-file via the wakeup heap: ``now`` may have
+                    # overshot ``t_end``, in which case the wave is *not*
+                    # ready at the start of the next quantum. The refill
+                    # at the top of the loop promotes it the moment
+                    # ``ready_at`` actually passes.
+                    heapq.heappush(wakeups, (wf.ready_at, wf.age, wf))
+                    continue
+            issued = 0
+            scanned = 0
+            cursor = -1
+            deferred: Optional[List[Tuple[int, Wavefront]]] = None
+            self._skip = None
+            self._in_scan = True
+            while ready and issued < issue_width:
+                age, wf = heapq.heappop(ready)
+                scanned += 1
+                if age <= cursor:
+                    # Became ready behind the scan position: next cycle.
+                    if deferred is None:
+                        deferred = []
+                    deferred.append((age, wf))
+                    continue
+                cursor = age
+                skip = self._skip
+                if skip is not None and any(s is wf for s in skip):
+                    if deferred is None:
+                        deferred = []
+                    deferred.append((age, wf))
+                    continue
+                kind = wf.program[wf.pc_idx].kind
+                self._issue(wf, now, cycle, mem)
+                issued += 1
+                if kind is _ENDPGM or kind is _BARRIER or wf.blocked:
+                    continue  # retired / barrier or waitcnt handled above
+                heapq.heappush(wakeups, (wf.ready_at, wf.age, wf))
+            self._in_scan = False
+            self._skip = None
+            if deferred is not None:
+                for entry in deferred:
+                    heapq.heappush(ready, entry)
+            self.ctr_waves_scanned += scanned
+            if issued:
+                stats.issued += issued
+                stats.active_cycles += 1
+                stats.core_busy_ns += cycle
+                now += cycle
+                continue
+            nxt = t_end
+            if completions and completions[0][0] < nxt:
+                nxt = completions[0][0]
+            if wakeups and wakeups[0][0] < nxt:
+                nxt = wakeups[0][0]
+            if nxt <= now:  # pragma: no cover - mirrors the reference loop
+                now += cycle
+                stats.core_busy_ns += cycle
+            else:
+                if self._runnable:
+                    # Waves are mid-pipeline (busy), not memory-blocked:
+                    # this gap is core time, not asynchronous time.
+                    stats.core_busy_ns += nxt - now
+                now = nxt
+        self.now = t_end
+        self._cycle_now = t_end
+
+    def _run_batch(
+        self, wf: Wavefront, now: float, t_end: float, cycle: float, mem: MemorySubsystem
+    ) -> float:
+        """Issue consecutive compute/branch instructions of the only
+        runnable wavefront as one timing event stream.
+
+        Replays the per-cycle loop's float operations in the same order
+        (issue, ``core_busy_ns += cycle``, ``now += cycle``, then the gap
+        arithmetic), so the result is bit-identical; only the readiness
+        rescans are skipped. Stops at ``t_end``, at the next memory
+        completion, on a multi-cycle gap that something else bounds, or
+        at the first non-batchable instruction.
+        """
+        completions = self.completions
+        stats = self.stats
+        program = wf.program
+        batched = 0
+        while True:
+            kind = program[wf.pc_idx].kind
+            if kind is not _VALU and kind is not _SALU and kind is not _BRANCH:
+                break
+            self._issue(wf, now, cycle, mem)
+            stats.issued += 1
+            stats.active_cycles += 1
+            stats.core_busy_ns += cycle
+            now += cycle
+            batched += 1
+            if now >= t_end:
+                break
+            if completions and completions[0][0] <= now:
+                break
+            ra = wf.ready_at
+            if ra > now:
+                # Multi-cycle instruction: jump the issue gap exactly as
+                # the reference loop's no-issue branch would.
+                nxt = t_end
+                if completions and completions[0][0] < nxt:
+                    nxt = completions[0][0]
+                if ra < nxt:
+                    nxt = ra
+                stats.core_busy_ns += nxt - now
+                now = nxt
+                if now >= t_end:
+                    break
+                if completions and completions[0][0] <= now:
+                    break
+                if nxt != ra:  # pragma: no cover - both bounds checked above
+                    break
+        self.ctr_cycles += batched - 1 if batched else 0
+        self.ctr_batched += batched
+        return now
+
+    def _run_until_reference(self, t_end: float, mem: MemorySubsystem) -> None:
+        """The pre-event-engine scheduler loop, kept verbatim (golden
+        baseline for the equivalence tests); only counters were added."""
         if self.now >= t_end:
             self.now = t_end
             return
@@ -154,14 +415,18 @@ class ComputeUnit:
         issue_width = self.config.issue_width
         now = self.now
         while now < t_end:
+            self.ctr_cycles += 1
             self._deliver_completions(now)
             issued = 0
+            scanned = 0
             for wf in self.waves:
+                scanned += 1
                 if issued >= issue_width:
                     break
                 if wf.is_ready(now):
                     self._issue(wf, now, cycle, mem)
                     issued += 1
+            self.ctr_waves_scanned += scanned
             if issued:
                 self.stats.issued += issued
                 self.stats.active_cycles += 1
@@ -169,6 +434,7 @@ class ComputeUnit:
                 now += cycle
                 continue
             nxt = self._next_wakeup(now, t_end)
+            self.ctr_waves_scanned += len(self.waves)
             if nxt <= now:
                 now += cycle
                 self.stats.core_busy_ns += cycle
@@ -179,6 +445,7 @@ class ComputeUnit:
                     self.stats.core_busy_ns += nxt - now
                 now = nxt
         self.now = t_end
+        self._cycle_now = t_end
 
     def _next_wakeup(self, now: float, t_end: float) -> float:
         nxt = t_end
@@ -196,9 +463,11 @@ class ComputeUnit:
             wf = self.wave_by_id.get(wf_id)
             if wf is None:
                 continue
+            self.ctr_completions += 1
             wf.note_mem_complete(is_store)
             if wf.blocked_wait_target is not None and wf.waitcnt_satisfied():
                 wf.unblock_wait(completion, self.epoch_start)
+                self._wake(wf)
 
     def _issue(self, wf: Wavefront, now: float, cycle: float, mem: MemorySubsystem) -> None:
         instr = wf.current_instruction()
@@ -247,9 +516,11 @@ class ComputeUnit:
                 wf.advance_pc()
             else:
                 wf.block_wait(instr.wait_target, now)
+                self._runnable -= 1
         elif kind is InstructionKind.BARRIER:
             wg = wf.workgroup_id
             wf.block_barrier(now)
+            self._runnable -= 1
             arrived = self.barrier_arrived.get(wg, 0) + 1
             self.barrier_arrived[wg] = arrived
             if arrived >= self.wg_alive.get(wg, 0):
@@ -270,14 +541,21 @@ class ComputeUnit:
         for other in self.waves:
             if other.workgroup_id == wg and other.blocked_barrier:
                 other.unblock_barrier(release_time, self.epoch_start)
+                self._wake(other)
         self.barrier_arrived[wg] = 0
 
     def _retire_wave(self, wf: Wavefront, now: float) -> None:
         wf.done = True
+        self._runnable -= 1
         self.last_retire_time = now
         wg = wf.workgroup_id
         self.wg_alive[wg] = self.wg_alive.get(wg, 1) - 1
-        self.waves.remove(wf)
+        waves = self.waves
+        pos = self._wave_pos
+        idx = pos.pop(wf.wf_id)
+        del waves[idx]
+        for i in range(idx, len(waves)):
+            pos[waves[i].wf_id] = i
         self.wave_by_id.pop(wf.wf_id, None)
         if self.wg_alive[wg] <= 0:
             self.wg_alive.pop(wg, None)
@@ -287,6 +565,13 @@ class ComputeUnit:
             # waiting on.
             self._release_barrier(wg, now)
         self.try_dispatch(now)
+        if self._in_scan and idx < len(waves):
+            # Reference-loop fidelity: the wave that shifted into the
+            # retired slot is not examined again during this scan.
+            skip = self._skip
+            if skip is None:
+                skip = self._skip = []
+            skip.append(waves[idx])
 
     # ------------------------------------------------------------------
     # Snapshot
@@ -299,7 +584,7 @@ class ComputeUnit:
         out.now = self.now
         out.epoch_start = self.epoch_start
         out.waves = [wf.clone() for wf in self.waves]
-        out.pending_workgroups = list(self.pending_workgroups)
+        out.pending_workgroups = deque(self.pending_workgroups)
         out.completions = list(self.completions)
         out._completion_seq = self._completion_seq
         out.wave_by_id = {wf.wf_id: wf for wf in out.waves}
@@ -309,7 +594,95 @@ class ComputeUnit:
         out._next_wf_id = self._next_wf_id
         out.stats = self.stats.clone()
         out.last_retire_time = self.last_retire_time
+        out._wave_pos = {wf.wf_id: i for i, wf in enumerate(out.waves)}
+        out._event_engine = self._event_engine
+        out._cycle_now = self.now
+        out._skip = None
+        out._in_scan = False
+        out._rebuild_event_state()
+        out.ctr_cycles = 0
+        out.ctr_waves_scanned = 0
+        out.ctr_batched = 0
+        out.ctr_completions = 0
         return out
+
+    def capture(self) -> tuple:
+        """Flat-tuple snapshot of all mutable state (no object cloning).
+
+        Wave state is captured via :meth:`Wavefront.capture`; immutable
+        ``Program``/config objects are shared by reference. Restoring
+        with :meth:`restore_capture` reuses the existing wavefront and
+        stats objects, so forking an epoch many times allocates almost
+        nothing after the first restore.
+        """
+        return (
+            self.frequency_ghz,
+            self.now,
+            self.epoch_start,
+            tuple(wf.capture() for wf in self.waves),
+            tuple(self.pending_workgroups),
+            tuple(self.completions),
+            self._completion_seq,
+            tuple(self.barrier_arrived.items()),
+            tuple(self.wg_alive.items()),
+            self._next_age,
+            self._next_wf_id,
+            self.stats.capture(),
+            self.last_retire_time,
+        )
+
+    def restore_capture(self, cap: tuple) -> None:
+        """Overwrite this CU's state from a :meth:`capture` tuple."""
+        (
+            self.frequency_ghz,
+            self.now,
+            self.epoch_start,
+            wave_caps,
+            pending,
+            completions,
+            self._completion_seq,
+            barrier,
+            alive,
+            self._next_age,
+            self._next_wf_id,
+            stats_cap,
+            self.last_retire_time,
+        ) = cap
+        old_by_id = self.wave_by_id
+        waves: List[Wavefront] = []
+        by_id: Dict[int, Wavefront] = {}
+        pos: Dict[int, int] = {}
+        for wc in wave_caps:
+            wf = old_by_id.get(wc[0])
+            if wf is not None and wf.program is wc[3]:
+                wf.restore_capture(wc)
+            else:
+                wf = Wavefront.from_capture(wc)
+            pos[wf.wf_id] = len(waves)
+            waves.append(wf)
+            by_id[wf.wf_id] = wf
+        self.waves = waves
+        self.wave_by_id = by_id
+        self._wave_pos = pos
+        self.pending_workgroups = deque(pending)
+        self.completions = list(completions)
+        self.barrier_arrived = dict(barrier)
+        self.wg_alive = dict(alive)
+        self.stats.restore_capture(stats_cap)
+        self._cycle_now = self.now
+        self._skip = None
+        self._in_scan = False
+        self._rebuild_event_state()
+
+    def capture_nbytes(self) -> int:
+        """Rough payload size of :meth:`capture` (for the profiler)."""
+        n = 8 * 13
+        for wf in self.waves:
+            n += wf.capture_nbytes()
+        n += 32 * len(self.completions)
+        n += 16 * (len(self.barrier_arrived) + len(self.wg_alive))
+        n += 24 * sum(len(g) for g in self.pending_workgroups)
+        return n
 
 
 __all__ = ["ComputeUnit", "CuEpochStats", "PendingWave"]

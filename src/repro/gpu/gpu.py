@@ -36,6 +36,29 @@ class WaveEpochRecord:
 
 
 @dataclass(frozen=True)
+class GpuSnapshot:
+    """Flat-state snapshot of a :class:`Gpu` (see :meth:`Gpu.snapshot`).
+
+    Everything mutable is captured as plain tuples of scalars; immutable
+    structures (``Program`` objects, configs) are shared by reference -
+    copy-on-write in spirit, since nothing ever mutates them. Restoring
+    into a live GPU (:meth:`Gpu.restore`) reuses its wavefront/stats
+    objects, so replaying an epoch many times from one snapshot - the
+    oracle's fork-and-pre-execute loop - allocates almost nothing.
+    """
+
+    config: "GpuConfig"
+    time: float
+    pending_transitions: int
+    next_wg_base: int
+    domains: tuple
+    memory: tuple
+    cus: Tuple[tuple, ...]
+    #: Estimated payload size (bytes) for the hot-path profiler.
+    nbytes: int
+
+
+@dataclass(frozen=True)
 class EpochResult:
     """Everything observable about one elapsed epoch."""
 
@@ -70,6 +93,12 @@ class Gpu:
         self.time = 0.0
         self._pending_transitions = 0
         self._next_wg_base = 0
+        # Hot-path counters (observational only; see repro.runtime.profiling).
+        self.ctr_clones = 0
+        self.ctr_clone_bytes = 0
+        self.ctr_snapshots = 0
+        self.ctr_snapshot_bytes = 0
+        self.ctr_restores = 0
 
     # ------------------------------------------------------------------
     # Workload loading
@@ -211,7 +240,15 @@ class Gpu:
     # ------------------------------------------------------------------
     # Snapshot
 
+    def state_nbytes(self) -> int:
+        """Estimated size (bytes) of the mutable simulator state."""
+        return self.memory.capture_nbytes() + 8 * 3 + 16 * len(self.domains) + sum(
+            cu.capture_nbytes() for cu in self.cus
+        )
+
     def clone(self) -> "Gpu":
+        self.ctr_clones += 1
+        self.ctr_clone_bytes += self.state_nbytes()
         out = Gpu.__new__(Gpu)
         out.config = self.config
         out.memory = self.memory.clone()
@@ -220,7 +257,60 @@ class Gpu:
         out.time = self.time
         out._pending_transitions = self._pending_transitions
         out._next_wg_base = self._next_wg_base
+        out.ctr_clones = 0
+        out.ctr_clone_bytes = 0
+        out.ctr_snapshots = 0
+        out.ctr_snapshot_bytes = 0
+        out.ctr_restores = 0
+        return out
+
+    def snapshot(self) -> GpuSnapshot:
+        """Capture the full mutable state as a :class:`GpuSnapshot`.
+
+        Unlike :meth:`clone`, no simulator objects are allocated: the
+        snapshot is flat tuples plus shared immutable references, and
+        :meth:`restore` writes it back into existing objects. This is
+        what makes the oracle's ~10 forks per epoch cheap.
+        """
+        cus = tuple(cu.capture() for cu in self.cus)
+        snap = GpuSnapshot(
+            config=self.config,
+            time=self.time,
+            pending_transitions=self._pending_transitions,
+            next_wg_base=self._next_wg_base,
+            domains=self.domains.capture(),
+            memory=self.memory.capture(),
+            cus=cus,
+            nbytes=self.state_nbytes(),
+        )
+        self.ctr_snapshots += 1
+        self.ctr_snapshot_bytes += snap.nbytes
+        return snap
+
+    def restore(self, snap: GpuSnapshot) -> None:
+        """Overwrite this GPU's state from a snapshot, reusing objects.
+
+        The snapshot must come from a GPU built on the same config
+        (same geometry); wavefront objects still resident under their
+        snapshot ``wf_id`` are reused rather than reallocated.
+        """
+        if snap.config is not self.config:
+            raise ValueError("snapshot comes from a different platform config")
+        self.time = snap.time
+        self._pending_transitions = snap.pending_transitions
+        self._next_wg_base = snap.next_wg_base
+        self.domains.restore_capture(snap.domains)
+        self.memory.restore_capture(snap.memory)
+        for cu, cap in zip(self.cus, snap.cus):
+            cu.restore_capture(cap)
+        self.ctr_restores += 1
+
+    @classmethod
+    def from_snapshot(cls, snap: GpuSnapshot) -> "Gpu":
+        """Materialise a fresh GPU from a snapshot."""
+        out = cls(snap.config)
+        out.restore(snap)
         return out
 
 
-__all__ = ["Gpu", "EpochResult", "WaveEpochRecord"]
+__all__ = ["Gpu", "GpuSnapshot", "EpochResult", "WaveEpochRecord"]

@@ -138,5 +138,33 @@ class MemorySubsystem:
         out.last_request_ns = self.last_request_ns
         return out
 
+    def capture(self) -> tuple:
+        """Flat-tuple snapshot (allocation-free restore, see ``Gpu.snapshot``)."""
+        return (
+            tuple(self.bank_busy_until),
+            tuple(self.channel_busy_until),
+            self.request_counter,
+            self.thrash_counter,
+            self.rate_ema,
+            self.last_request_ns,
+        )
+
+    def restore_capture(self, cap: tuple) -> None:
+        """Overwrite state in place from a :meth:`capture` tuple."""
+        (
+            banks,
+            channels,
+            self.request_counter,
+            self.thrash_counter,
+            self.rate_ema,
+            self.last_request_ns,
+        ) = cap
+        self.bank_busy_until[:] = banks
+        self.channel_busy_until[:] = channels
+
+    def capture_nbytes(self) -> int:
+        """Rough payload size of :meth:`capture` (for the profiler)."""
+        return 8 * (4 + len(self.bank_busy_until) + len(self.channel_busy_until))
+
 
 __all__ = ["MemorySubsystem", "MemoryRequest"]

@@ -66,6 +66,39 @@ class WavefrontStats:
         out.__dict__.update(self.__dict__)
         return out
 
+    def capture(self) -> tuple:
+        """Flat, immutable value snapshot (see :meth:`Wavefront.capture`)."""
+        return (
+            self.committed,
+            self.committed_compute,
+            self.committed_memory,
+            self.stall_ns,
+            self.store_stall_ns,
+            self.barrier_stall_ns,
+            self.leading_load_ns,
+            self.critical_mem_ns,
+            self.busy_ns,
+            self.epoch_start_pc_idx,
+            self.loads_issued,
+            self.stores_issued,
+        )
+
+    def restore_capture(self, cap: tuple) -> None:
+        (
+            self.committed,
+            self.committed_compute,
+            self.committed_memory,
+            self.stall_ns,
+            self.store_stall_ns,
+            self.barrier_stall_ns,
+            self.leading_load_ns,
+            self.critical_mem_ns,
+            self.busy_ns,
+            self.epoch_start_pc_idx,
+            self.loads_issued,
+            self.stores_issued,
+        ) = cap
+
 
 class Wavefront:
     """Execution state of one wavefront resident on a CU.
@@ -309,6 +342,78 @@ class Wavefront:
         out.last_mem_completion = self.last_mem_completion
         out.stats = self.stats.clone()
         return out
+
+    def capture(self) -> tuple:
+        """Flat-tuple snapshot of all mutable state.
+
+        Unlike :meth:`clone`, no ``Wavefront`` (or stats) object is
+        allocated: the snapshot is a plain tuple of scalars plus shared
+        references to the immutable :class:`~repro.gpu.isa.Program`. The
+        oracle uses this to fork an epoch many times from one capture
+        (see ``Gpu.snapshot``). Restoring into an existing wavefront via
+        :meth:`restore_capture` allocates only the two small dicts.
+        """
+        return (
+            self.wf_id,
+            self.workgroup_id,
+            self.wave_in_group,
+            self.program,  # immutable, shared
+            self.age,
+            self.pc_idx,
+            tuple(self.loop_counters.items()),
+            self.ready_at,
+            self.outstanding,
+            self.outstanding_stores,
+            self.blocked_wait_target,
+            self.blocked_barrier,
+            self.blocked_since,
+            self.done,
+            tuple(self.pc_visits.items()),
+            self.last_mem_completion,
+            self.stats.capture(),
+        )
+
+    def restore_capture(self, cap: tuple) -> None:
+        """Overwrite mutable state from a :meth:`capture` tuple in place.
+
+        Identity fields (ids, program, age) are assumed to match; callers
+        reuse a wavefront only for the same ``wf_id``/``program``.
+        """
+        (
+            _,
+            _,
+            _,
+            _,
+            _,
+            self.pc_idx,
+            loops,
+            self.ready_at,
+            self.outstanding,
+            self.outstanding_stores,
+            self.blocked_wait_target,
+            self.blocked_barrier,
+            self.blocked_since,
+            self.done,
+            visits,
+            self.last_mem_completion,
+            stats_cap,
+        ) = cap
+        self.loop_counters = dict(loops)
+        self.pc_visits = dict(visits)
+        self.stats.restore_capture(stats_cap)
+
+    @classmethod
+    def from_capture(cls, cap: tuple) -> "Wavefront":
+        """Materialise a fresh wavefront from a :meth:`capture` tuple."""
+        out = cls.__new__(cls)
+        out.wf_id, out.workgroup_id, out.wave_in_group, out.program, out.age = cap[:5]
+        out.stats = WavefrontStats()
+        out.restore_capture(cap)
+        return out
+
+    def capture_nbytes(self) -> int:
+        """Rough payload size of :meth:`capture` (8 bytes per scalar)."""
+        return 8 * (28 + 2 * (len(self.loop_counters) + len(self.pc_visits)))
 
 
 __all__ = ["Wavefront", "WavefrontStats"]

@@ -7,6 +7,9 @@
   disk, keyed by a content hash of everything the result depends on.
 * :class:`~repro.runtime.progress.SweepInstrumentation` records per-cell
   wall time, cache hit/miss counts and worker utilisation.
+* :mod:`repro.runtime.profiling` collects the simulator's hot-path event
+  counters (waves scanned, clones taken, bytes snapshotted, ...) and
+  offers an opt-in ``cProfile`` wrapper.
 """
 
 from repro.runtime.cache import (
@@ -17,18 +20,28 @@ from repro.runtime.cache import (
     task_key,
 )
 from repro.runtime.executor import SweepExecutor, SweepTask, SweepTimeoutError, run_task
+from repro.runtime.profiling import (
+    HotPathCounters,
+    collect_hotpath,
+    format_hotpath,
+    maybe_cprofile,
+)
 from repro.runtime.progress import CellRecord, SweepInstrumentation
 
 __all__ = [
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
     "CellRecord",
+    "HotPathCounters",
     "ResultCache",
     "SweepExecutor",
     "SweepInstrumentation",
     "SweepTask",
     "SweepTimeoutError",
+    "collect_hotpath",
     "default_cache_dir",
+    "format_hotpath",
+    "maybe_cprofile",
     "run_task",
     "task_key",
 ]

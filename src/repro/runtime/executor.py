@@ -158,7 +158,10 @@ class SweepExecutor:
                 if cached is not None:
                     results[i] = cached
                     self.progress.record_cell(
-                        CellRecord(task.label, task.workload, task.design, 0.0, SOURCE_CACHE)
+                        CellRecord(
+                            task.label, task.workload, task.design, 0.0, SOURCE_CACHE,
+                            hotpath=getattr(cached, "hotpath", None),
+                        )
                     )
                 else:
                     pending.append(i)
@@ -183,7 +186,10 @@ class SweepExecutor:
         if self.cache is not None:
             self.cache.put(task.key(), result)
         self.progress.record_cell(
-            CellRecord(task.label, task.workload, task.design, elapsed, source)
+            CellRecord(
+                task.label, task.workload, task.design, elapsed, source,
+                hotpath=getattr(result, "hotpath", None),
+            )
         )
 
     def _run_serial(

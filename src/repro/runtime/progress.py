@@ -30,6 +30,10 @@ class CellRecord:
     wall_s: float
     #: One of :data:`SOURCE_CACHE` / :data:`SOURCE_SERIAL` / :data:`SOURCE_PARALLEL`.
     source: str
+    #: Hot-path profiler counters of the cell's simulation (see
+    #: :mod:`repro.runtime.profiling`). For cache hits these describe the
+    #: work the cached run did originally, not work done by this sweep.
+    hotpath: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -91,6 +95,18 @@ class SweepInstrumentation:
     def slowest_cells(self, n: int = 3) -> List[CellRecord]:
         return sorted(self.cells, key=lambda c: -c.wall_s)[:n]
 
+    def hotpath_totals(self) -> Dict[str, int]:
+        """Hot-path counters summed across all cells that reported them."""
+        from repro.runtime.profiling import HotPathCounters
+
+        totals = HotPathCounters()
+        seen = False
+        for c in self.cells:
+            if c.hotpath:
+                seen = True
+                totals.merge(c.hotpath)
+        return totals.as_dict() if seen else {}
+
     def summary(self) -> str:
         """Render the aggregate instrumentation as an ASCII table."""
         # Imported here: repro.analysis pulls in the experiment drivers,
@@ -108,6 +124,8 @@ class SweepInstrumentation:
         ]
         for c in self.slowest_cells():
             rows.append([f"slowest: {c.label}", c.wall_s])
+        for name, value in self.hotpath_totals().items():
+            rows.append([f"hotpath: {name}", f"{value:,}"])
         for e in self.events:
             rows.append(["note", e])
         return format_table(
@@ -124,6 +142,7 @@ class SweepInstrumentation:
             "wall_s": self.wall_s,
             "compute_s": self.compute_s,
             "utilisation": self.utilisation,
+            "hotpath": self.hotpath_totals(),
             "events": list(self.events),
         }
 

@@ -71,6 +71,7 @@ class TestTopLevel:
         "repro.runtime.executor",
         "repro.runtime.cache",
         "repro.runtime.progress",
+        "repro.runtime.profiling",
     ],
 )
 def test_module_all_exports_resolve(module):

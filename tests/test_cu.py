@@ -188,6 +188,56 @@ class TestEpochStats:
         assert 0.0 < cu.last_retire_time < 10_000.0
 
 
+class TestResidencyStructures:
+    def test_pending_workgroups_is_fifo_deque(self):
+        from collections import deque
+
+        cu, mem = make_cu(waves_per_cu=2)
+        for wg in range(4):
+            cu.enqueue_workgroup([(wg, 0, compute_program(5)), (wg, 1, compute_program(5))])
+        cu.try_dispatch(0.0)
+        assert isinstance(cu.pending_workgroups, deque)
+        # One workgroup resident, the rest queued in arrival order.
+        assert [group[0][0] for group in cu.pending_workgroups] == [1, 2, 3]
+        cu.begin_epoch(0.0)
+        cu.run_until(100_000.0, mem)
+        assert cu.idle  # every queued workgroup eventually dispatched
+
+    def test_wave_position_map_tracks_retires(self):
+        """_retire_wave removes via the index map; the map must stay
+        exactly {wf_id: list position} through arbitrary retire order."""
+        progs = [compute_program(n) for n in (3, 9, 1, 6)]
+        cu, mem = make_cu(waves_per_cu=4)
+        cu.enqueue_workgroup([(0, w, progs[w]) for w in range(4)])
+        cu.try_dispatch(0.0)
+        cu.begin_epoch(0.0)
+        t = 0.0
+        while not cu.idle:
+            t += 2.0
+            cu.run_until(t, mem)
+            assert cu._wave_pos == {wf.wf_id: i for i, wf in enumerate(cu.waves)}
+        assert cu._wave_pos == {}
+
+    def test_capture_restore_round_trip(self):
+        b = ProgramBuilder()
+        top = b.label()
+        b.emit(valu(), load(0.5, 0.5), waitcnt(0))
+        b.loop_back(top, trips=300)
+        prog = b.build()
+        cu, mem = make_cu()
+        enqueue(cu, prog, n_waves=3)
+        cu.begin_epoch(0.0)
+        cu.run_until(700.0, mem)
+        state = cu.capture()
+        mem_state = mem.capture()
+        cu.run_until(1500.0, mem)
+        first = (cu.stats.committed, [w.pc_idx for w in cu.waves], cu.now)
+        cu.restore_capture(state)
+        mem.restore_capture(mem_state)
+        cu.run_until(1500.0, mem)
+        assert (cu.stats.committed, [w.pc_idx for w in cu.waves], cu.now) == first
+
+
 class TestClone:
     def test_clone_runs_identically(self):
         b = ProgramBuilder()

@@ -120,6 +120,80 @@ class TestSampling:
         assert f_max == tiny_config.dvfs.f_max
 
 
+class TestSnapshotProtocol:
+    def test_round_trip_replays_identically(self, tiny_config):
+        """snapshot -> run -> restore -> run must repeat the exact run."""
+        gpu = make_gpu(tiny_config)
+        snap = gpu.snapshot()
+        first = gpu.run_epoch(1000.0).committed_per_cu()
+        after_first = [cu.now for cu in gpu.cus]
+        gpu.restore(snap)
+        second = gpu.run_epoch(1000.0).committed_per_cu()
+        assert second == first
+        assert [cu.now for cu in gpu.cus] == after_first
+
+    def test_from_snapshot_matches_clone(self, tiny_config):
+        from repro.gpu.gpu import Gpu
+
+        gpu = make_gpu(tiny_config)
+        twin = Gpu.from_snapshot(gpu.snapshot())
+        a = gpu.run_epoch(1000.0).committed_per_cu()
+        b = twin.run_epoch(1000.0).committed_per_cu()
+        assert a == b
+
+    def test_restore_rejects_foreign_config(self, tiny_config):
+        from dataclasses import replace
+
+        from repro.gpu.gpu import Gpu
+
+        gpu = make_gpu(tiny_config)
+        other = Gpu(replace(tiny_config.gpu))  # equal but distinct config
+        with pytest.raises(ValueError):
+            other.restore(gpu.snapshot())
+
+    def test_snapshot_is_immutable_record(self, tiny_config):
+        gpu = make_gpu(tiny_config)
+        snap = gpu.snapshot()
+        before = snap.cus
+        gpu.run_epoch(1000.0)
+        assert snap.cus is before  # frozen capture, not live references
+        assert snap.nbytes > 0
+
+    def test_snapshot_sampling_matches_clone_sampling(self, tiny_config):
+        """The scratch-restore serial path must produce the same points
+        as the pre-change clone-per-sample loop (reference engine)."""
+        from dataclasses import replace as dc_replace
+
+        points = {}
+        for engine in ("event", "reference"):
+            cfg = dc_replace(
+                tiny_config, gpu=dc_replace(tiny_config.gpu, engine=engine)
+            )
+            gpu = make_gpu(cfg)
+            points[engine] = OracleSampler(cfg, n_sample_freqs=3).sample(gpu).points
+        assert points["event"] == points["reference"]
+
+    def test_sampling_counters(self, tiny_config):
+        gpu = make_gpu(tiny_config)
+        sampler = OracleSampler(tiny_config, n_sample_freqs=3)
+        sampler.sample(gpu)
+        sampler.sample(gpu)
+        assert sampler.ctr_samples == 2
+        # Serial event-engine sampling snapshots the parent; it never clones.
+        assert gpu.ctr_snapshots == 2
+        assert gpu.ctr_clones == 0
+        assert sampler._scratch is not None
+        assert sampler._scratch.ctr_restores == 6
+
+    def test_scratch_gpu_reused_across_samples(self, tiny_config):
+        gpu = make_gpu(tiny_config)
+        sampler = OracleSampler(tiny_config, n_sample_freqs=3)
+        sampler.sample(gpu)
+        scratch = sampler._scratch
+        sampler.sample(gpu)
+        assert sampler._scratch is scratch
+
+
 class TestValidation:
     def test_validation_accuracy_high(self, tiny_config):
         """The paper reports 97.6% for shuffled pre-execution vs

@@ -151,6 +151,49 @@ class TestObjectives:
         assert capped.energy.total < top.energy.total
 
 
+class TestOracleLifecycle:
+    def test_oracle_pool_closed_on_mid_run_exception(self, cfg):
+        """A raising controller must not leak the oracle's worker pool."""
+        ctrl = make_controller("ORACLE", cfg, EDnPObjective(2))
+        sim = DvfsSimulation(
+            kernels(), ctrl, cfg, max_epochs=10,
+            oracle_sample_freqs=3, oracle_workers=2,
+        )
+        calls = {"n": 0}
+        original = ctrl.decide
+
+        def exploding_decide():
+            calls["n"] += 1
+            if calls["n"] >= 3:
+                raise RuntimeError("controller blew up mid-run")
+            return original()
+
+        ctrl.decide = exploding_decide
+        with pytest.raises(RuntimeError, match="blew up"):
+            sim.run()
+        assert sim._oracle is not None
+        assert sim._oracle._pool is None
+
+    def test_oracle_pool_closed_after_clean_run(self, cfg):
+        ctrl = make_controller("ORACLE", cfg, EDnPObjective(2))
+        sim = DvfsSimulation(
+            kernels(), ctrl, cfg, max_epochs=10,
+            oracle_sample_freqs=3, oracle_workers=2,
+        )
+        sim.run()
+        assert sim._oracle._pool is None
+
+    def test_hotpath_counters_on_result(self, cfg):
+        r = run(cfg, "ORACLE")
+        hp = r.hotpath
+        assert hp is not None
+        assert hp["cycles"] > 0
+        assert hp["waves_scanned"] > 0
+        assert hp["oracle_samples"] == r.epochs
+        assert hp["snapshots"] == r.epochs  # one capture per oracle fork
+        assert hp["clone_bytes"] == 0  # scratch restores, no deep clones
+
+
 class TestDeterminism:
     def test_same_run_reproduces(self, cfg):
         a = run(cfg, "PCSTALL")
