@@ -15,6 +15,9 @@ Public API tour:
 * :mod:`repro.analysis` - experiment drivers for every paper figure.
 * :mod:`repro.runtime` - parallel sweep executor, on-disk result cache,
   sweep instrumentation.
+* :mod:`repro.telemetry` - zero-overhead-when-off observability:
+  mergeable metrics registry, per-epoch decision trace, Perfetto
+  export, prediction-accuracy drill-down.
 
 Quickstart::
 
@@ -41,8 +44,14 @@ from repro.config import (
 )
 from repro.dvfs import DESIGN_NAMES, DvfsSimulation, OracleSampler, make_controller
 from repro.runtime import ResultCache, SweepExecutor, SweepInstrumentation, SweepTask
+from repro.telemetry import (
+    AccuracyReport,
+    EpochTraceRecorder,
+    MetricsRegistry,
+    TelemetryConfig,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DvfsConfig",
@@ -61,5 +70,9 @@ __all__ = [
     "SweepExecutor",
     "SweepInstrumentation",
     "SweepTask",
+    "AccuracyReport",
+    "EpochTraceRecorder",
+    "MetricsRegistry",
+    "TelemetryConfig",
     "__version__",
 ]

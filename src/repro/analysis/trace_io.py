@@ -15,17 +15,27 @@ from __future__ import annotations
 import csv
 import json
 import pathlib
-from typing import Dict, List, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.analysis.phases import SensitivityTrace
 from repro.dvfs.simulation import RunResult
+from repro.telemetry.schema import build_meta, check_meta
 
 PathLike = Union[str, pathlib.Path]
 
 
-def run_result_to_dict(result: RunResult) -> Dict:
-    """JSON-serialisable summary of one DVFS run."""
+def run_result_to_dict(
+    result: RunResult, config: Optional[Any] = None, engine: Optional[str] = None
+) -> Dict:
+    """JSON-serialisable summary of one DVFS run.
+
+    The ``meta`` block stamps the artifact with the package version,
+    trace-schema version and (when ``config`` is given) the platform's
+    content hash, so a loaded file can be checked against the code that
+    reads it (see :func:`load_run_json`).
+    """
     return {
+        "meta": build_meta(config=config, **({"engine": engine} if engine else {})),
         "design": result.design,
         "workload": result.workload,
         "epochs": result.epochs,
@@ -50,12 +60,28 @@ def run_result_to_dict(result: RunResult) -> Dict:
     }
 
 
-def save_run_json(result: RunResult, path: PathLike) -> None:
-    pathlib.Path(path).write_text(json.dumps(run_result_to_dict(result), indent=2))
+def save_run_json(
+    result: RunResult,
+    path: PathLike,
+    config: Optional[Any] = None,
+    engine: Optional[str] = None,
+) -> None:
+    pathlib.Path(path).write_text(
+        json.dumps(run_result_to_dict(result, config=config, engine=engine), indent=2)
+    )
 
 
-def load_run_json(path: PathLike) -> Dict:
-    return json.loads(pathlib.Path(path).read_text())
+def load_run_json(path: PathLike, strict: bool = False) -> Dict:
+    """Load a run summary; with ``strict`` verify its ``meta`` block.
+
+    ``strict=True`` raises :class:`ValueError` when the file predates
+    the meta block or was written by an incompatible schema version -
+    the round-trip guard for artifacts that feed further tooling.
+    """
+    data = json.loads(pathlib.Path(path).read_text())
+    if strict:
+        check_meta(data.get("meta"))
+    return data
 
 
 # ----------------------------------------------------------------------

@@ -13,6 +13,14 @@ Commands:
   additionally captures a real profile; ``--engine reference`` runs the
   pre-event-engine loop for comparison).
 * ``storage``  - print the TABLE I storage-overhead model.
+* ``trace``    - run one workload x design with the epoch telemetry
+  recorder attached: per-epoch decision table on stdout, optional
+  ``--jsonl`` record stream and ``--perfetto`` Chrome-trace export
+  (load the latter at https://ui.perfetto.dev).
+* ``report``   - prediction-accuracy drill-down (``--accuracy``):
+  error percentiles, decision confusion matrix vs the oracle, and
+  per-PC error attribution, across workloads or from a saved
+  ``--jsonl`` trace.
 
 Sweep commands (``run``/``compare``/``figure``) accept ``--workers N``
 to fan cells across processes, and cache results on disk (disable with
@@ -99,7 +107,7 @@ def cmd_run(args) -> int:
     if args.json:
         from repro.analysis.trace_io import save_run_json
 
-        save_run_json(r, args.json)
+        save_run_json(r, args.json, config=_config(args))
         print(f"\nsummary written to {args.json}")
     return 0
 
@@ -222,9 +230,12 @@ def _profile_hotpath(args) -> int:
     if args.json:
         import json
 
+        from repro.telemetry import build_meta
+
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(
                 {
+                    "meta": build_meta(_config(args)),
                     "workload": args.workload,
                     "design": args.design,
                     "engine": args.engine,
@@ -275,6 +286,114 @@ def cmd_storage(_args) -> int:
     from repro.analysis.experiments import tab1_storage
 
     print(tab1_storage().render())
+    return 0
+
+
+def _recorder_for(args):
+    """A recorder whose ring holds a whole run (1 epoch + n_domains
+    records per epoch, plus headers/footers)."""
+    from repro.telemetry import EpochTraceRecorder, TelemetryConfig
+
+    n_domains = max(1, args.cus // args.cus_per_domain)
+    ring = (args.max_epochs + 2) * (n_domains + 1)
+    return EpochTraceRecorder(
+        TelemetryConfig(ring_size=ring, jsonl_path=getattr(args, "jsonl", None))
+    )
+
+
+def cmd_trace(args) -> int:
+    from repro.runtime.executor import run_task
+    from repro.telemetry import save_perfetto_json
+
+    with _recorder_for(args) as rec:
+        result = run_task(_sweep_task(args, args.design), recorder=rec)
+
+    first = max(0, rec.epochs - args.epochs)
+    rows = []
+    for r in rec.domain_records():
+        if r["epoch"] < first:
+            continue
+        rows.append([
+            r["epoch"],
+            r["domain"],
+            f"{r['freq_ghz']:.2f}",
+            "-" if r["pred_commits"] is None else f"{r['pred_commits']:.0f}",
+            r["actual_commits"],
+            "-" if r["rel_error"] is None else f"{r['rel_error']:.3f}",
+            "-" if r["oracle_freq_ghz"] is None else f"{r['oracle_freq_ghz']:.2f}",
+            {True: "x", False: ".", None: "-"}[r["mispredicted"]],
+        ])
+    print(format_table(
+        ["epoch", "dom", "f (GHz)", "pred", "actual", "rel err", "oracle f", "miss"],
+        rows,
+        title=(
+            f"{args.workload}/{args.design}: epoch decisions "
+            f"(last {args.epochs} of {rec.epochs} epochs)"
+        ),
+    ))
+    counters = rec.registry.counter_values("telemetry_")
+    decisions = counters.get("telemetry_decisions", 0)
+    missed = counters.get("telemetry_mispredictions", 0)
+    print(
+        f"\n{rec.epochs} epochs, {rec.total_records} records "
+        f"({rec.dropped} dropped from ring), "
+        f"{missed:.0f}/{decisions:.0f} decisions off oracle-best; "
+        f"run: delay {result.delay_ns / 1e3:.1f} us, "
+        f"energy {result.energy.total:.3f}"
+    )
+    if args.jsonl:
+        print(f"epoch records streamed to {args.jsonl}")
+    if args.perfetto:
+        n = save_perfetto_json(rec.records, args.perfetto)
+        print(f"Perfetto trace ({n} events) written to {args.perfetto} "
+              f"(load at https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.telemetry import AccuracyReport
+
+    if not args.accuracy:
+        raise SystemExit("repro report: only --accuracy is available; pass it")
+
+    reports: List[AccuracyReport] = []
+    if args.jsonl:
+        from repro.telemetry import load_trace_jsonl
+
+        reports.append(AccuracyReport.from_records(load_trace_jsonl(args.jsonl)))
+    else:
+        from repro.runtime.executor import run_task
+
+        for w in args.workloads.split(","):
+            args.workload = w
+            with _recorder_for(args) as rec:
+                run_task(_sweep_task(args, args.design), recorder=rec)
+            reports.append(
+                AccuracyReport.from_recorder(rec, label=f"{w}/{args.design}")
+            )
+
+    rows = []
+    for rep in reports:
+        pct = rep.error_percentiles()
+        rows.append([
+            rep.label, rep.epochs, rep.domain_records,
+            f"{pct['p50']:.3f}", f"{pct['p90']:.3f}", f"{pct['p99']:.3f}",
+            f"{pct['mean']:.3f}", f"{rep.agreement:.1%}",
+        ])
+    print(format_table(
+        ["run", "epochs", "records", "p50", "p90", "p99", "mean", "oracle agr."],
+        rows, title="prediction relative error (|pred - actual| / actual)",
+    ))
+
+    merged = reports[0]
+    for rep in reports[1:]:
+        merged = merged.merge(rep)
+    if len(reports) > 1:
+        merged.label = f"{args.workloads} x {args.design}"
+    print()
+    print(merged.render_confusion())
+    print()
+    print(merged.render_top_pcs(args.top))
     return 0
 
 
@@ -361,6 +480,39 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--json", metavar="FILE",
                     help="with --hotpath: also write the counters to FILE")
     sp.set_defaults(fn=cmd_profile)
+
+    sp = sub.add_parser(
+        "trace",
+        help="run with the epoch telemetry recorder attached; print "
+             "per-epoch decisions, optionally export JSONL / Perfetto",
+    )
+    common(sp)
+    sp.add_argument("--design", default="PCSTALL")
+    sp.add_argument("--epochs", type=int, default=8,
+                    help="trailing epochs to print in the decision table")
+    sp.add_argument("--jsonl", metavar="FILE",
+                    help="stream every epoch record to this JSONL file")
+    sp.add_argument("--perfetto", metavar="FILE",
+                    help="write a Chrome-trace JSON timeline to FILE "
+                         "(open at https://ui.perfetto.dev)")
+    sp.set_defaults(fn=cmd_trace)
+
+    sp = sub.add_parser(
+        "report",
+        help="prediction-accuracy drill-down: error percentiles, "
+             "confusion matrix vs oracle, per-PC attribution",
+    )
+    common(sp, workload_arg=False)
+    sp.add_argument("--accuracy", action="store_true",
+                    help="produce the accuracy report (required)")
+    sp.add_argument("--workloads", default="dgemm",
+                    help="comma-separated workloads to simulate and score")
+    sp.add_argument("--design", default="PCSTALL")
+    sp.add_argument("--jsonl", metavar="FILE",
+                    help="score a saved trace instead of simulating")
+    sp.add_argument("--top", type=int, default=10,
+                    help="PC rows in the attribution table")
+    sp.set_defaults(fn=cmd_report)
 
     sp = sub.add_parser("storage", help="print TABLE I storage overheads")
     sp.set_defaults(fn=cmd_storage)

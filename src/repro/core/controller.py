@@ -120,6 +120,25 @@ class DvfsController:
         self.log.predictions.append(list(predictions))
         return chosen
 
+    def choose_for(
+        self,
+        line: Optional[LinearSensitivity],
+        domain: int,
+        current_f: Optional[float] = None,
+    ) -> float:
+        """Frequency the objective would pick for ``line``, statelessly.
+
+        Telemetry uses this to score decisions against the oracle: feed
+        it the oracle's *true* sensitivity line (and the frequency that
+        was current when the real decision was made) and the result is
+        the oracle-best choice under the same objective. Neither the
+        controller's log nor its current frequencies change.
+        """
+        f0 = current_f if current_f is not None else self._current[domain]
+        return self.objective.choose(
+            line, self.config.dvfs.frequencies_ghz, f0, self._ctx, domain=domain
+        )
+
     @property
     def current_frequencies(self) -> List[float]:
         return list(self._current)

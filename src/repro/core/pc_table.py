@@ -73,6 +73,9 @@ class PCTable:
         self.lookups = 0
         self.hits = 0
         self.updates = 0
+        #: Valid entries overwritten by a *different* (aliasing) PC - the
+        #: direct-mapped table's capacity/conflict pressure signal.
+        self.evictions = 0
 
     def index_of(self, pc_bytes: int) -> int:
         """Table index for a byte PC: drop offset bits, wrap modulo size."""
@@ -97,6 +100,8 @@ class PCTable:
         entry = self._entries[self.index_of_instruction(pc_idx)]
         key = self._key_of_instruction(pc_idx)
         w = self.config.update_weight
+        if entry.valid and entry.pc_key != key:
+            self.evictions += 1
         if entry.valid and entry.pc_key == key and w < 1.0:
             entry.i0 = (1 - w) * entry.i0 + w * line.i0
             entry.slope = (1 - w) * entry.slope + w * line.slope
@@ -145,6 +150,7 @@ class PCTable:
         self.lookups = 0
         self.hits = 0
         self.updates = 0
+        self.evictions = 0
 
 
 __all__ = ["PCTable", "PCTableConfig"]

@@ -191,6 +191,19 @@ class PCBasedPredictor(Predictor):
         hits = sum(t.hits for t in self.tables)
         return hits / lookups if lookups else 0.0
 
+    def table_stats(self) -> Dict[str, int]:
+        """Cumulative PC-table counters summed across every table.
+
+        The telemetry recorder diffs consecutive snapshots into
+        per-epoch lookup/hit/update/eviction deltas.
+        """
+        return {
+            "lookups": sum(t.lookups for t in self.tables),
+            "hits": sum(t.hits for t in self.tables),
+            "updates": sum(t.updates for t in self.tables),
+            "evictions": sum(t.evictions for t in self.tables),
+        }
+
 
 class AccuratePCPredictor(PCBasedPredictor):
     """ACCPC: the PC-based mechanism fed with oracle-accurate estimates.

@@ -44,6 +44,11 @@ class OracleSample:
     def lines(self) -> List[LinearSensitivity]:
         return [f.model for f in self.fits]
 
+    @property
+    def r_squared(self) -> Tuple[float, ...]:
+        """Per-domain goodness of the fitted truth lines (telemetry)."""
+        return tuple(f.r_squared for f in self.fits)
+
     #: Frequency matching tolerance for :meth:`commits_at`. The V/f grid
     #: is 100 MHz-spaced (0.1 GHz), so 1 kHz absolute / 1e-9 relative
     #: slack absorbs round-tripping through unit conversion or grid

@@ -18,9 +18,10 @@ drains, the next kernel is dispatched within the same run (e.g. lulesh's
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.config import SimConfig
 from repro.core.controller import DvfsController
@@ -32,6 +33,9 @@ from repro.gpu.kernel import Kernel
 from repro.power.energy import EnergyAccountant, EnergyBreakdown
 from repro.power.model import PowerModel
 from repro.runtime.profiling import collect_hotpath
+
+if TYPE_CHECKING:  # telemetry never imports dvfs; the arrow points here
+    from repro.telemetry import EpochTraceRecorder
 
 
 @dataclass
@@ -88,6 +92,7 @@ class DvfsSimulation:
         oracle_sample_freqs: Optional[int] = None,
         oracle_workers: int = 1,
         power_manager: Optional["HierarchicalPowerManager"] = None,
+        telemetry: Optional["EpochTraceRecorder"] = None,
     ) -> None:
         if not kernels:
             raise ValueError("need at least one kernel")
@@ -113,6 +118,11 @@ class DvfsSimulation:
         #: Optional millisecond-scale power manager (Section 5.4); fed
         #: the measured epoch power so it can narrow the V/f window.
         self.power_manager = power_manager
+        #: Optional epoch trace recorder. When None (the default) the
+        #: run pays one ``is None`` branch per epoch and allocates no
+        #: telemetry objects - results are bit-identical to a run
+        #: without the telemetry subsystem.
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
 
@@ -133,6 +143,14 @@ class DvfsSimulation:
         total_committed = 0
         total_transitions = 0
         epochs = 0
+        tel = self.telemetry
+        if tel is not None:
+            tel.begin_run(
+                workload=self.workload_name,
+                design=self.design_name,
+                sim_config=cfg,
+                objective_name=getattr(self.controller.objective, "name", ""),
+            )
 
         try:
             while epochs < self.max_epochs:
@@ -140,6 +158,10 @@ class DvfsSimulation:
                     if not pending:
                         break
                     gpu.load_kernel(pending.pop(0))
+
+                if tel is not None:
+                    t_wall0 = time.perf_counter()
+                    prev_freqs = self.controller.current_frequencies
 
                 sample: Optional[OracleSample] = None
                 if self._oracle is not None:
@@ -154,7 +176,7 @@ class DvfsSimulation:
                 result = gpu.run_epoch(epoch_ns)
                 epochs += 1
                 total_committed += result.total_committed()
-                accountant.add_epoch(result)
+                epoch_energy = accountant.add_epoch(result)
                 if self.power_manager is not None:
                     self.power_manager.observe_epoch(
                         accountant.power_trace[-1], result.duration_ns
@@ -173,6 +195,34 @@ class DvfsSimulation:
 
                 truth = sample.lines if (sample and predictor.needs_elapsed_truth) else None
                 self.controller.observe(result, true_domain_lines=truth)
+
+                if tel is not None:
+                    oracle_freqs = None
+                    if sample is not None:
+                        # Score against the oracle: the frequency this
+                        # objective would pick given the *true* line,
+                        # from the same pre-decision state.
+                        oracle_freqs = [
+                            self.controller.choose_for(line, d, prev_freqs[d])
+                            for d, line in enumerate(sample.lines)
+                        ]
+                    pc_cumulative = (
+                        predictor.table_stats()  # type: ignore[attr-defined]
+                        if hasattr(predictor, "table_stats")
+                        else None
+                    )
+                    tel.record_epoch(
+                        epoch_index=epochs - 1,
+                        result=result,
+                        chosen_freqs=freqs,
+                        predictions=predictions,
+                        actual_per_domain=actual_per_domain,
+                        sample=sample,
+                        oracle_freqs=oracle_freqs,
+                        epoch_energy=epoch_energy,
+                        pc_cumulative=pc_cumulative,
+                        wall_s=time.perf_counter() - t_wall0,
+                    )
         finally:
             # A raising kernel/predictor must not leak the oracle's
             # worker pool (its processes outlive the exception).
@@ -204,7 +254,7 @@ class DvfsSimulation:
         if hasattr(predictor, "hit_ratio"):
             hit_ratio = predictor.hit_ratio()  # type: ignore[attr-defined]
 
-        return RunResult(
+        run_result = RunResult(
             design=self.design_name,
             workload=self.workload_name,
             epochs=epochs,
@@ -220,6 +270,9 @@ class DvfsSimulation:
             completed=completed,
             hotpath=hotpath,
         )
+        if tel is not None:
+            tel.end_run(run_result)
+        return run_result
 
 
 __all__ = ["DvfsSimulation", "RunResult"]

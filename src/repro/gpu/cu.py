@@ -85,6 +85,17 @@ class CuEpochStats:
         out.__dict__.update(self.__dict__)
         return out
 
+    def stall_breakdown(self, duration_ns: float) -> Dict[str, float]:
+        """Split an epoch into core-busy vs stalled (memory/idle) time.
+
+        ``core_busy_ns`` already excludes time blocked on memory and
+        barriers, so the remainder of the epoch window is the CU's
+        asynchronous stall time. Clamped so float drift at epoch edges
+        can never produce a negative stall.
+        """
+        busy = min(self.core_busy_ns, duration_ns)
+        return {"busy_ns": busy, "stall_ns": max(0.0, duration_ns - busy)}
+
     def capture(self) -> tuple:
         return (
             self.committed,

@@ -78,6 +78,16 @@ def describe_objective(objective: Optional[Any]) -> Any:
     return _canonical(objective) if objective is not None else None
 
 
+def config_hash(config: Any) -> str:
+    """SHA-256 content hash of a configuration object.
+
+    Same canonicalisation as the cache key, so telemetry artifacts and
+    cached results that describe the same platform carry the same hash.
+    """
+    blob = json.dumps(_canonical(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def task_key(fields: Mapping[str, Any]) -> str:
     """SHA-256 hex digest of a cell's canonicalised input fields."""
     payload = _canonical(dict(fields))
@@ -87,7 +97,10 @@ def task_key(fields: Mapping[str, Any]) -> str:
 
 
 def default_cache_dir() -> pathlib.Path:
-    return pathlib.Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+    # `or`, not a default: REPRO_CACHE_DIR="" must mean "unset", else the
+    # cache dir degenerates to "." and litters the working directory with
+    # key-named .pkl files.
+    return pathlib.Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
 
 
 class ResultCache:
@@ -138,6 +151,7 @@ __all__ = [
     "CACHE_FORMAT_VERSION",
     "DEFAULT_CACHE_DIR",
     "ResultCache",
+    "config_hash",
     "default_cache_dir",
     "describe_objective",
     "task_key",

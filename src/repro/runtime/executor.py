@@ -86,8 +86,15 @@ class SweepTask:
         return task_key(self.cache_fields())
 
 
-def run_task(task: SweepTask):
-    """Execute one cell to completion (runs in worker processes too)."""
+def run_task(task: SweepTask, recorder=None):
+    """Execute one cell to completion (runs in worker processes too).
+
+    ``recorder`` is an optional
+    :class:`~repro.telemetry.recorder.EpochTraceRecorder` attached to
+    the simulation (used by ``repro trace`` / ``repro report``). It is
+    deliberately *not* part of :class:`SweepTask` - telemetry never
+    enters the result-cache key because it never changes the result.
+    """
     # Local imports keep worker start-up lean and avoid import cycles.
     from repro.dvfs.designs import make_controller
     from repro.dvfs.simulation import DvfsSimulation
@@ -104,6 +111,7 @@ def run_task(task: SweepTask):
         collect_accuracy=task.collect_accuracy,
         max_epochs=task.max_epochs,
         oracle_sample_freqs=task.oracle_sample_freqs,
+        telemetry=recorder,
     )
     return sim.run()
 

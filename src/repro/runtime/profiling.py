@@ -64,6 +64,13 @@ class HotPathCounters:
         known = {f.name for f in fields(cls)}
         return cls(**{k: int(v) for k, v in data.items() if k in known})
 
+    def to_registry(self, registry, prefix: str = "hotpath_") -> None:
+        """Add these counts into a telemetry
+        :class:`~repro.telemetry.metrics.MetricsRegistry` (the common
+        sink the sweep instrumentation aggregates through)."""
+        for f in fields(self):
+            registry.inc(f"{prefix}{f.name}", getattr(self, f.name))
+
 
 def collect_gpu(gpu) -> HotPathCounters:
     """Harvest the counters of one :class:`~repro.gpu.gpu.Gpu`."""

@@ -13,6 +13,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.telemetry.metrics import SECONDS_BUCKETS, MetricsRegistry
+
 #: How a cell's result was obtained.
 SOURCE_CACHE = "cache"
 SOURCE_SERIAL = "serial"
@@ -44,6 +46,13 @@ class SweepInstrumentation:
     max_workers: int = 1
     cells: List[CellRecord] = field(default_factory=list)
     events: List[str] = field(default_factory=list)
+    #: Common telemetry sink. Every recorded cell increments
+    #: ``sweep_cells_total`` / ``sweep_cells_<source>``, observes its
+    #: wall time in the ``sweep_cell_wall_s`` histogram, and folds its
+    #: hot-path counters in under the ``hotpath_`` prefix. Registries
+    #: from parallel workers merge associatively, so a parallel sweep's
+    #: merged registry equals the serial run's (see test_runtime.py).
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     _t_start: Optional[float] = None
     _t_end: Optional[float] = None
 
@@ -57,10 +66,20 @@ class SweepInstrumentation:
 
     def record_cell(self, record: CellRecord) -> None:
         self.cells.append(record)
+        self.registry.inc("sweep_cells_total")
+        self.registry.inc(f"sweep_cells_{record.source}")
+        self.registry.histogram("sweep_cell_wall_s", SECONDS_BUCKETS).observe(
+            record.wall_s
+        )
+        if record.hotpath:
+            from repro.runtime.profiling import HotPathCounters
+
+            HotPathCounters.from_dict(record.hotpath).to_registry(self.registry)
 
     def note(self, message: str) -> None:
         """Record a notable event (e.g. a fallback to serial execution)."""
         self.events.append(message)
+        self.registry.inc("sweep_notes_total")
 
     # ------------------------------------------------------------------
 
@@ -144,6 +163,7 @@ class SweepInstrumentation:
             "utilisation": self.utilisation,
             "hotpath": self.hotpath_totals(),
             "events": list(self.events),
+            "metrics": self.registry.to_dict(),
         }
 
 

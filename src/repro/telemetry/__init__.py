@@ -1,0 +1,65 @@
+"""Telemetry: a zero-overhead-when-off observability layer.
+
+Four pieces, threaded through the simulation loop, controller,
+predictors, PC table, oracle and sweep runtime:
+
+* :mod:`repro.telemetry.metrics` - :class:`MetricsRegistry`: mergeable
+  counters/gauges/fixed-bucket histograms, the common sink the sweep
+  instrumentation and hot-path profiler report through.
+* :mod:`repro.telemetry.recorder` - :class:`EpochTraceRecorder`: one
+  structured record per epoch per V/f domain (chosen frequency,
+  predicted vs actual commits, oracle truth, PC-table deltas,
+  stall/busy split, energy) with bounded memory (ring buffer and/or
+  streaming JSONL).
+* :mod:`repro.telemetry.exporters` - Chrome-trace/Perfetto JSON export
+  (``repro trace --epochs``).
+* :mod:`repro.telemetry.accuracy` - prediction-error percentiles,
+  decision confusion matrix vs the oracle, per-PC error attribution
+  (``repro report --accuracy``).
+
+When no recorder is attached, the simulation pays a single ``is None``
+test per epoch and allocates nothing - tier-1 results stay bit-identical
+(see ``tests/test_telemetry.py``).
+"""
+
+from repro.telemetry.accuracy import AccuracyReport, percentile
+from repro.telemetry.exporters import perfetto_trace, save_perfetto_json
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_all,
+)
+from repro.telemetry.recorder import EpochTraceRecorder, PcErrorStat, TelemetryConfig
+from repro.telemetry.schema import (
+    TRACE_SCHEMA_VERSION,
+    build_meta,
+    check_meta,
+    load_trace_jsonl,
+    trace_meta,
+    validate_records,
+    validate_trace_file,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "percentile",
+    "perfetto_trace",
+    "save_perfetto_json",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_all",
+    "EpochTraceRecorder",
+    "PcErrorStat",
+    "TelemetryConfig",
+    "TRACE_SCHEMA_VERSION",
+    "build_meta",
+    "check_meta",
+    "load_trace_jsonl",
+    "trace_meta",
+    "validate_records",
+    "validate_trace_file",
+]

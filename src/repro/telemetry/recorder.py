@@ -1,0 +1,349 @@
+"""The per-epoch decision trace: bounded-memory structured records.
+
+:class:`EpochTraceRecorder` is handed to
+:class:`~repro.dvfs.simulation.DvfsSimulation` (``telemetry=`` argument)
+and receives one callback per executed epoch. From it the recorder
+emits the record stream documented in :mod:`repro.telemetry.schema`:
+an ``epoch`` record plus one ``domain`` record per V/f domain, with the
+predicted sensitivity line, the chosen and oracle-best frequencies, the
+stall/busy split and PC-table deltas.
+
+Memory is bounded two ways, selectable per use:
+
+* a **ring buffer** (``TelemetryConfig.ring_size``) keeps the most
+  recent records in memory for programmatic drill-down; older records
+  are dropped and counted, never re-allocated;
+* a **streaming JSONL writer** (``TelemetryConfig.jsonl_path``) appends
+  every record to disk as it is produced, so arbitrarily long runs
+  archive fully with O(1) resident records.
+
+When no recorder is attached the simulation takes a single
+``is None`` branch per epoch - no recorder, record, or registry objects
+are allocated (the overhead-off equivalence test pins this down).
+
+This module deliberately imports nothing from :mod:`repro.dvfs` or
+:mod:`repro.gpu`; it receives plain result objects and reads public
+attributes, which keeps the dependency arrow pointing from the
+simulation into telemetry only.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.telemetry.metrics import MetricsRegistry, RATIO_BUCKETS
+from repro.telemetry.schema import build_meta
+
+#: Frequency comparison slack (GHz); matches the oracle's grid tolerance.
+_FREQ_ABS_TOL_GHZ = 1e-6
+
+#: Cumulative PC-table counter names diffed into per-epoch deltas.
+_PC_STAT_KEYS = ("lookups", "hits", "updates", "evictions")
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What the recorder keeps and where it streams."""
+
+    #: Emit per-epoch ``epoch``/``domain`` records. When False the
+    #: recorder still aggregates run-level metrics and PC attribution.
+    record_epochs: bool = True
+    #: Ring-buffer capacity for in-memory records (0 = keep nothing in
+    #: memory; the JSONL stream still receives everything).
+    ring_size: int = 4096
+    #: Stream every record to this JSONL file as it is produced.
+    jsonl_path: Optional[str] = None
+    #: Aggregate per-PC prediction-error attribution across the run.
+    record_pc_attribution: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ring_size < 0:
+            raise ValueError("ring_size must be non-negative")
+
+
+@dataclass
+class PcErrorStat:
+    """Accumulated prediction error attributed to one start PC."""
+
+    pc_idx: int
+    samples: int = 0
+    committed: int = 0
+    #: Sum of (domain relative error x wavefront commit share); the
+    #: run-level ranking weight for "which PCs mispredict".
+    weighted_error: float = 0.0
+
+    def as_record(self) -> Dict[str, object]:
+        return {
+            "type": "pc",
+            "pc_idx": self.pc_idx,
+            "samples": self.samples,
+            "committed": self.committed,
+            "weighted_error": self.weighted_error,
+        }
+
+
+class EpochTraceRecorder:
+    """Collects one structured record per epoch per domain."""
+
+    def __init__(self, config: TelemetryConfig = TelemetryConfig()) -> None:
+        self.config = config
+        self.registry = MetricsRegistry()
+        self.records: Deque[Dict[str, object]] = deque(
+            maxlen=config.ring_size if config.ring_size > 0 else 0
+        )
+        self.meta: Optional[Dict[str, object]] = None
+        #: End-of-run aggregate records (``pc`` + ``summary``). Kept out
+        #: of the ring so flushing a large PC table never evicts epoch
+        #: records that a timeline export still needs.
+        self.final_records: List[Dict[str, object]] = []
+        self.pc_stats: Dict[int, PcErrorStat] = {}
+        self.total_records = 0
+        self.epochs = 0
+        self._fh = None
+        self._n_domains = 0
+        self._cus_per_domain = 1
+        self._freq_grid: Sequence[float] = ()
+        self._last_pc_cumulative: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def begin_run(
+        self,
+        workload: str,
+        design: str,
+        sim_config,
+        objective_name: str = "",
+    ) -> None:
+        """Open the stream for one (workload x design) run."""
+        gpu_cfg = sim_config.gpu
+        self._n_domains = gpu_cfg.n_domains
+        self._cus_per_domain = gpu_cfg.cus_per_domain
+        self._freq_grid = tuple(sim_config.dvfs.frequencies_ghz)
+        self._last_pc_cumulative = None
+        self.meta = build_meta(
+            sim_config,
+            workload=workload,
+            design=design,
+            objective=objective_name,
+            n_domains=self._n_domains,
+            epoch_ns=sim_config.dvfs.epoch_ns,
+            frequencies_ghz=list(self._freq_grid),
+        )
+        self._emit({"type": "run", **self.meta}, count=False)
+
+    def close(self) -> None:
+        """Flush and close the JSONL stream, if one is open."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EpochTraceRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Per-epoch callback (hot path when enabled; never called when off)
+
+    def record_epoch(
+        self,
+        epoch_index: int,
+        result,
+        chosen_freqs: Sequence[float],
+        predictions: Sequence[object],
+        actual_per_domain: Sequence[int],
+        sample=None,
+        oracle_freqs: Optional[Sequence[float]] = None,
+        epoch_energy: float = 0.0,
+        pc_cumulative: Optional[Dict[str, int]] = None,
+        wall_s: float = 0.0,
+    ) -> None:
+        """Digest one elapsed epoch.
+
+        ``result`` is an :class:`~repro.gpu.gpu.EpochResult`;
+        ``predictions`` the controller's per-domain sensitivity lines
+        (None where the design made no prediction); ``sample`` the
+        elapsed epoch's :class:`~repro.dvfs.oracle.OracleSample` when
+        truth sampling ran; ``oracle_freqs`` the frequency the objective
+        would have chosen per domain given the true line;
+        ``pc_cumulative`` the predictor's cumulative PC-table counters
+        (diffed into per-epoch deltas here).
+        """
+        self.epochs += 1
+        reg = self.registry
+        reg.inc("telemetry_epochs")
+        duration = result.duration_ns
+
+        epoch_rec: Dict[str, object] = {
+            "type": "epoch",
+            "epoch": epoch_index,
+            "t_start_ns": result.t_start,
+            "t_end_ns": result.t_end,
+            "wall_s": wall_s,
+            "energy": epoch_energy,
+            "transitions": result.transitions,
+            "committed": result.total_committed(),
+        }
+        if pc_cumulative is not None:
+            last = self._last_pc_cumulative or {k: 0 for k in _PC_STAT_KEYS}
+            for k in _PC_STAT_KEYS:
+                epoch_rec[f"pc_{k}"] = pc_cumulative.get(k, 0) - last.get(k, 0)
+            self._last_pc_cumulative = dict(pc_cumulative)
+        if self.config.record_epochs:
+            self._emit(epoch_rec)
+
+        per = self._cus_per_domain
+        rel_errors: List[Optional[float]] = []
+        for d in range(self._n_domains):
+            line = predictions[d] if d < len(predictions) else None
+            actual = int(actual_per_domain[d])
+            chosen = float(chosen_freqs[d])
+            pred_commits = line.predict(chosen) if line is not None else None
+            rel_error: Optional[float] = None
+            if pred_commits is not None and actual > 0:
+                rel_error = abs(pred_commits - actual) / actual
+                reg.inc("telemetry_scored")
+                reg.histogram("telemetry_rel_error", RATIO_BUCKETS).observe(rel_error)
+            rel_errors.append(rel_error)
+
+            busy = 0.0
+            issued = 0
+            committed = 0
+            for cu_id in range(d * per, (d + 1) * per):
+                stats = result.cu_stats[cu_id]
+                split = stats.stall_breakdown(duration)
+                busy += split["busy_ns"]
+                issued += stats.issued
+                committed += stats.committed
+
+            rec: Dict[str, object] = {
+                "type": "domain",
+                "epoch": epoch_index,
+                "domain": d,
+                "freq_ghz": chosen,
+                "pred_i0": line.i0 if line is not None else None,
+                "pred_slope": line.slope if line is not None else None,
+                "pred_commits": pred_commits,
+                "actual_commits": actual,
+                "rel_error": rel_error,
+                "oracle_freq_ghz": None,
+                "oracle_i0": None,
+                "oracle_slope": None,
+                "oracle_r2": None,
+                "oracle_commits": None,
+                "mispredicted": None,
+                "busy_ns": busy,
+                "stall_ns": duration * per - busy,
+                "issued": issued,
+                "committed": committed,
+            }
+            if sample is not None:
+                fit = sample.fits[d]
+                rec["oracle_i0"] = fit.model.i0
+                rec["oracle_slope"] = fit.model.slope
+                rec["oracle_r2"] = fit.r_squared
+                rec["oracle_commits"] = sample.commits_at(d, chosen)
+            if oracle_freqs is not None:
+                oracle_f = float(oracle_freqs[d])
+                rec["oracle_freq_ghz"] = oracle_f
+                mispredicted = not math.isclose(
+                    chosen, oracle_f, abs_tol=_FREQ_ABS_TOL_GHZ
+                )
+                rec["mispredicted"] = mispredicted
+                reg.inc("telemetry_decisions")
+                if mispredicted:
+                    reg.inc("telemetry_mispredictions")
+            if self.config.record_epochs:
+                self._emit(rec)
+
+        if self.config.record_pc_attribution:
+            self._attribute_pcs(result, rel_errors)
+
+    def _attribute_pcs(
+        self, result, rel_errors: Sequence[Optional[float]]
+    ) -> None:
+        """Distribute each domain's error over the PCs its waves ran."""
+        per = self._cus_per_domain
+        for d, rel_error in enumerate(rel_errors):
+            if rel_error is None:
+                continue
+            cu_ids = range(d * per, (d + 1) * per)
+            domain_committed = sum(
+                r.stats.committed
+                for cu_id in cu_ids
+                for r in result.wave_records[cu_id]
+            )
+            if domain_committed <= 0:
+                continue
+            for cu_id in cu_ids:
+                for record in result.wave_records[cu_id]:
+                    stat = self.pc_stats.get(record.start_pc_idx)
+                    if stat is None:
+                        stat = self.pc_stats[record.start_pc_idx] = PcErrorStat(
+                            record.start_pc_idx
+                        )
+                    share = record.stats.committed / domain_committed
+                    stat.samples += 1
+                    stat.committed += record.stats.committed
+                    stat.weighted_error += rel_error * share
+
+    # ------------------------------------------------------------------
+    # End-of-run
+
+    def end_run(self, run_result) -> None:
+        """Record the run digest and flush aggregated PC attribution."""
+        for stat in sorted(
+            self.pc_stats.values(), key=lambda s: -s.weighted_error
+        ):
+            self._emit(stat.as_record(), count=False, final=True)
+        self._emit(
+            {
+                "type": "summary",
+                "workload": run_result.workload,
+                "design": run_result.design,
+                "epochs": run_result.epochs,
+                "delay_ns": run_result.delay_ns,
+                "energy_total": run_result.energy.total,
+                "prediction_accuracy": run_result.prediction_accuracy,
+                "pc_hit_ratio": run_result.pc_hit_ratio,
+                "completed": run_result.completed,
+            },
+            count=False,
+            final=True,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted from the ring buffer (still in the JSONL)."""
+        return self.total_records - len(
+            [r for r in self.records if r["type"] in ("epoch", "domain")]
+        )
+
+    def domain_records(self) -> List[Dict[str, object]]:
+        return [r for r in self.records if r.get("type") == "domain"]
+
+    def _emit(
+        self, record: Dict[str, object], count: bool = True, final: bool = False
+    ) -> None:
+        if count:
+            self.total_records += 1
+            self.registry.inc("telemetry_records")
+        if final:
+            self.final_records.append(record)
+        elif self.config.ring_size > 0:
+            self.records.append(record)
+        if self.config.jsonl_path is not None:
+            if self._fh is None:
+                self._fh = open(self.config.jsonl_path, "w", encoding="utf-8")
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+__all__ = ["TelemetryConfig", "EpochTraceRecorder", "PcErrorStat"]

@@ -1,0 +1,172 @@
+"""Trace record schema: self-describing metadata plus validation.
+
+Every archived telemetry artifact - the epoch JSONL stream, the Perfetto
+trace, ``repro profile --json`` output, ``repro run --json`` summaries -
+embeds a ``meta`` block built by :func:`build_meta`:
+
+* ``schema_version`` - bumped whenever a record field changes meaning,
+* ``repro_version`` - the package that produced the artifact,
+* ``engine`` / ``config_hash`` - which timing engine and exactly which
+  platform configuration (the same canonical content hash the result
+  cache keys on), so archived traces are attributable long after the
+  defaults move.
+
+:func:`check_meta` is the read-side counterpart; :func:`validate_records`
+/ :func:`validate_trace_file` gate a whole epoch stream (CI runs the
+file-level check on the bench-smoke artifact).
+
+Record types in an epoch JSONL stream, one JSON object per line:
+
+``run``
+    Stream header: the meta block plus run identity (workload, design,
+    objective, domain count, epoch length, frequency grid).
+``epoch``
+    One per recorded epoch: sim-clock window, wall seconds, epoch
+    energy, V/f transitions, total commits, PC-table deltas
+    (lookups/hits/updates/evictions over that epoch).
+``domain``
+    One per (epoch, V/f domain): chosen frequency, predicted sensitivity
+    line and commit count, actual commits, relative error, oracle truth
+    (fitted line, r^2, the frequency the objective would have chosen
+    given the truth) when sampling ran, and the stall/busy split.
+``pc``
+    Aggregated per-PC prediction-error attribution, emitted at end of
+    run (one line per distinct start PC).
+``summary``
+    Final :class:`~repro.dvfs.simulation.RunResult` digest.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+PathLike = Union[str, pathlib.Path]
+
+#: Bump when a record field is added/removed or changes meaning.
+TRACE_SCHEMA_VERSION = 1
+
+#: Fields every record of a type must carry (value may be null where
+#: the quantity is undefined, e.g. no prediction yet).
+REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "run": ("type", "schema_version", "repro_version", "workload", "design",
+            "n_domains", "epoch_ns", "frequencies_ghz"),
+    "epoch": ("type", "epoch", "t_start_ns", "t_end_ns", "wall_s", "energy",
+              "transitions", "committed"),
+    "domain": ("type", "epoch", "domain", "freq_ghz", "pred_commits",
+               "actual_commits", "rel_error", "oracle_freq_ghz",
+               "mispredicted", "busy_ns", "stall_ns", "committed"),
+    "pc": ("type", "pc_idx", "samples", "committed", "weighted_error"),
+    "summary": ("type", "workload", "design", "epochs", "delay_ns",
+                "energy_total"),
+}
+
+
+def build_meta(config=None, **extra) -> Dict[str, object]:
+    """Self-describing metadata block for a telemetry artifact.
+
+    ``config`` is a :class:`~repro.config.SimConfig`; when given, the
+    engine name and the canonical config hash are embedded. ``extra``
+    key/values (workload, design, ...) are passed through.
+    """
+    from repro import __version__
+    meta: Dict[str, object] = {
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "repro_version": __version__,
+    }
+    if config is not None:
+        from repro.runtime.cache import config_hash
+
+        meta["engine"] = config.gpu.engine
+        meta["config_hash"] = config_hash(config)
+    meta.update(extra)
+    return meta
+
+
+def check_meta(meta: Mapping[str, object]) -> Dict[str, object]:
+    """Validate a meta block; returns it, raises ``ValueError`` if bad."""
+    if not isinstance(meta, Mapping):
+        raise ValueError(f"meta must be a mapping, got {type(meta).__name__}")
+    version = meta.get("schema_version")
+    if version != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported telemetry schema version {version!r} "
+            f"(this build reads version {TRACE_SCHEMA_VERSION})"
+        )
+    if not meta.get("repro_version"):
+        raise ValueError("meta lacks repro_version")
+    return dict(meta)
+
+
+def validate_record(record: Mapping[str, object]) -> str:
+    """Validate one record; returns its type, raises ``ValueError``."""
+    rtype = record.get("type")
+    required = REQUIRED_FIELDS.get(str(rtype))
+    if required is None:
+        raise ValueError(f"unknown record type {rtype!r}")
+    missing = [f for f in required if f not in record]
+    if missing:
+        raise ValueError(f"{rtype} record missing fields: {missing}")
+    if rtype == "run":
+        check_meta(record)
+    return str(rtype)
+
+
+def validate_records(records: Iterable[Mapping[str, object]]) -> Dict[str, int]:
+    """Validate a record stream; returns per-type counts.
+
+    The stream must start with a ``run`` header record.
+    """
+    counts: Dict[str, int] = {}
+    first = True
+    for record in records:
+        rtype = validate_record(record)
+        if first and rtype != "run":
+            raise ValueError(f"stream must start with a run record, got {rtype!r}")
+        first = False
+        counts[rtype] = counts.get(rtype, 0) + 1
+    if first:
+        raise ValueError("empty record stream")
+    return counts
+
+
+def load_trace_jsonl(path: PathLike) -> List[Dict[str, object]]:
+    """Read an epoch JSONL stream back as a list of record dicts."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: not valid JSON ({exc})") from None
+    return records
+
+
+def validate_trace_file(path: PathLike) -> Dict[str, int]:
+    """Load and validate a JSONL trace; returns per-type record counts."""
+    return validate_records(load_trace_jsonl(path))
+
+
+def trace_meta(records: Iterable[Mapping[str, object]]) -> Optional[Dict[str, object]]:
+    """The run header's meta block, if the stream has one."""
+    for record in records:
+        if record.get("type") == "run":
+            return check_meta(record)
+    return None
+
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "REQUIRED_FIELDS",
+    "build_meta",
+    "check_meta",
+    "validate_record",
+    "validate_records",
+    "validate_trace_file",
+    "load_trace_jsonl",
+    "trace_meta",
+]

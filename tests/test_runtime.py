@@ -74,6 +74,12 @@ class TestCacheKey:
 
 
 class TestResultCache:
+    def test_empty_cache_dir_env_means_unset(self, monkeypatch):
+        from repro.runtime.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, default_cache_dir
+
+        monkeypatch.setenv(CACHE_DIR_ENV, "")
+        assert default_cache_dir() == __import__("pathlib").Path(DEFAULT_CACHE_DIR)
+
     def test_roundtrip(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put("k", {"answer": 42})
@@ -184,3 +190,77 @@ class TestInstrumentation:
         prog.record_cell(CellRecord("a/b", "a", "b", 1e6, "serial"))
         prog.finish()
         assert 0.0 <= prog.utilisation <= 1.0
+
+
+class TestMetricsSink:
+    """The telemetry registry as the sweep's common metrics sink."""
+
+    def test_record_cell_feeds_registry(self):
+        prog = SweepInstrumentation()
+        prog.record_cell(
+            CellRecord("a/b", "a", "b", 0.5, "serial", hotpath={"cycles": 7})
+        )
+        prog.record_cell(CellRecord("c/d", "c", "d", 0.0, SOURCE_CACHE))
+        counters = prog.registry.counter_values()
+        assert counters["sweep_cells_total"] == 2
+        assert counters["sweep_cells_serial"] == 1
+        assert counters["sweep_cells_cache"] == 1
+        assert counters["hotpath_cycles"] == 7
+        from repro.telemetry.metrics import SECONDS_BUCKETS
+
+        assert prog.registry.histogram("sweep_cell_wall_s", SECONDS_BUCKETS).total == 2
+
+    def test_as_dict_carries_metrics(self):
+        prog = SweepInstrumentation()
+        prog.record_cell(CellRecord("a/b", "a", "b", 0.0, SOURCE_CACHE))
+        data = prog.as_dict()
+        assert data["metrics"]["counters"]["sweep_cells_total"] == 1
+
+    def test_split_sweep_registries_merge_to_whole(self):
+        """Satellite of the parallel runtime: metrics from two half
+        sweeps merged equal one whole sweep's metrics (counters are
+        deterministic work counts; wall-time histograms are timing and
+        are compared by observation count only)."""
+        from repro.telemetry import merge_all
+
+        whole = SweepExecutor(max_workers=1)
+        whole.run(GRID)
+        halves = [SweepExecutor(max_workers=1) for _ in range(2)]
+        halves[0].run(GRID[:2])
+        halves[1].run(GRID[2:])
+
+        merged = merge_all([h.progress.registry for h in halves])
+        assert merged.counter_values() == whole.progress.registry.counter_values()
+        assert (
+            merged.to_dict()["histograms"]["sweep_cell_wall_s"]["total"]
+            == whole.progress.registry.to_dict()["histograms"]["sweep_cell_wall_s"][
+                "total"
+            ]
+        )
+
+    def test_parallel_sweep_counters_match_serial(self):
+        """Cell/hotpath counters must be independent of how cells were
+        scheduled; only the source labels may differ."""
+
+        def work_counters(reg):
+            return {
+                k: v for k, v in reg.counter_values().items()
+                if k == "sweep_cells_total" or k.startswith("hotpath_")
+            }
+
+        serial = SweepExecutor(max_workers=1)
+        serial.run(GRID)
+        parallel = SweepExecutor(max_workers=2)
+        parallel.run(GRID)
+        assert work_counters(parallel.progress.registry) == work_counters(
+            serial.progress.registry
+        )
+
+    def test_hotpath_to_registry_prefix(self):
+        from repro.runtime.profiling import HotPathCounters
+        from repro.telemetry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        HotPathCounters(cycles=3, clones=2).to_registry(reg)
+        assert reg.counter_values("hotpath_")["hotpath_cycles"] == 3
+        assert reg.counter_values("hotpath_")["hotpath_clones"] == 2

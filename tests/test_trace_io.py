@@ -51,6 +51,44 @@ class TestRunJson:
         assert loaded["energy"]["total"] == pytest.approx(run_result.energy.total)
 
 
+class TestRunJsonMeta:
+    def test_meta_embedded_and_strict_round_trip(self, run_result, cfg, tmp_path):
+        from repro.runtime.cache import config_hash
+        from repro.telemetry import TRACE_SCHEMA_VERSION
+
+        path = tmp_path / "run.json"
+        save_run_json(run_result, path, config=cfg)
+        loaded = load_run_json(path, strict=True)
+        meta = loaded["meta"]
+        assert meta["schema_version"] == TRACE_SCHEMA_VERSION
+        assert meta["config_hash"] == config_hash(cfg)
+        assert meta["engine"] == cfg.gpu.engine
+        import repro
+
+        assert meta["repro_version"] == repro.__version__
+
+    def test_strict_load_rejects_missing_meta(self, run_result, tmp_path):
+        import json
+
+        path = tmp_path / "legacy.json"
+        d = run_result_to_dict(run_result)
+        d.pop("meta")
+        path.write_text(json.dumps(d))
+        with pytest.raises(ValueError):
+            load_run_json(path, strict=True)
+        assert load_run_json(path)["design"] == "PCSTALL"  # lenient default
+
+    def test_strict_load_rejects_wrong_schema_version(self, run_result, tmp_path):
+        import json
+
+        path = tmp_path / "future.json"
+        d = run_result_to_dict(run_result)
+        d["meta"]["schema_version"] = 999
+        path.write_text(json.dumps(d))
+        with pytest.raises(ValueError, match="schema version"):
+            load_run_json(path, strict=True)
+
+
 class TestTraceCsv:
     def test_rows_cover_all_levels(self, trace):
         rows = trace_to_rows(trace)
