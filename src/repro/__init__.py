@@ -51,7 +51,7 @@ from repro.telemetry import (
     TelemetryConfig,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "DvfsConfig",

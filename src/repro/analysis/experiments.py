@@ -51,7 +51,8 @@ from repro.dvfs.oracle import OracleSampler
 from repro.dvfs.simulation import RunResult
 from repro.gpu.gpu import Gpu
 from repro.runtime.cache import ResultCache
-from repro.runtime.executor import SweepExecutor, SweepTask
+from repro.runtime.checkpoint import SweepCheckpoint
+from repro.runtime.executor import RetryPolicy, SweepExecutor, SweepTask
 from repro.runtime.progress import SweepInstrumentation
 from repro.workloads import build_workload, workload, workload_names
 
@@ -76,6 +77,10 @@ class ExperimentSetup:
     cache_dir: Optional[str] = None
     #: Per-cell timeout (seconds) for parallel sweeps; None = unbounded.
     task_timeout_s: Optional[float] = None
+    #: Per-cell retry behaviour (see :class:`~repro.runtime.executor.RetryPolicy`).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Checkpoint manifest for crash-safe resume; None = no checkpointing.
+    checkpoint: Optional[SweepCheckpoint] = None
 
     def workload_list(self) -> List[str]:
         return list(self.workloads) if self.workloads else workload_names()
@@ -89,6 +94,8 @@ class ExperimentSetup:
             cache=ResultCache(self.cache_dir) if self.use_cache else None,
             progress=progress or SweepInstrumentation(),
             task_timeout_s=self.task_timeout_s,
+            retry=self.retry,
+            checkpoint=self.checkpoint,
         )
 
 

@@ -24,12 +24,20 @@ Commands:
 
 Sweep commands (``run``/``compare``/``figure``) accept ``--workers N``
 to fan cells across processes, and cache results on disk (disable with
-``--no-cache``; relocate with ``--cache-dir``).
+``--no-cache``; relocate with ``--cache-dir``). Transient cell failures
+are retried with deterministic backoff (``--retries N`` bounds the
+attempts; ``--retries 1`` disables retrying). ``figure`` sweeps record a
+crash-safe checkpoint manifest alongside the cache; after an interrupted
+sweep, ``repro figure <name> --resume`` re-runs only the missing cells.
+``--checkpoint FILE`` relocates the manifest (and enables it for
+``run``/``compare``).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -37,7 +45,16 @@ from repro.analysis.report import format_table
 from repro.config import small_config
 from repro.core.objectives import EDnPObjective, PerformanceCapObjective
 from repro.dvfs.designs import DESIGN_NAMES, EXTENSION_DESIGNS
-from repro.runtime import ResultCache, SweepExecutor, SweepInstrumentation, SweepTask
+from repro.runtime import (
+    ResultCache,
+    RetryPolicy,
+    SweepCheckpoint,
+    SweepExecutor,
+    SweepInstrumentation,
+    SweepTask,
+    default_checkpoint_path,
+)
+from repro.runtime.cache import default_cache_dir
 from repro.workloads import WORKLOADS, build_workload, workload, workload_names
 
 
@@ -64,11 +81,57 @@ def _config(args):
     return cfg
 
 
-def _executor(args, progress: Optional[SweepInstrumentation] = None) -> SweepExecutor:
+@contextlib.contextmanager
+def _scoped_checkpoint(args, sweep: str, always: bool = False):
+    """``_checkpoint`` as a context manager (closes the manifest)."""
+    ckpt = _checkpoint(args, sweep, always)
+    try:
+        yield ckpt
+    finally:
+        if ckpt is not None:
+            ckpt.close()
+
+
+def _retry_policy(args) -> RetryPolicy:
+    if args.retries < 1:
+        raise SystemExit("--retries must be at least 1")
+    return RetryPolicy(max_attempts=args.retries)
+
+
+def _checkpoint(args, sweep: str, always: bool = False) -> Optional[SweepCheckpoint]:
+    """Checkpoint manifest for a sweep command, or None.
+
+    ``figure`` passes ``always=True`` so every cached sweep leaves a
+    manifest behind (that is what makes an *unplanned* crash resumable);
+    ``run``/``compare`` only checkpoint when asked via ``--resume`` or
+    ``--checkpoint``.
+    """
+    wanted = always or args.resume or args.checkpoint
+    if not wanted:
+        return None
+    if args.no_cache:
+        if not (args.resume or args.checkpoint):
+            return None  # figure --no-cache: nothing to resume from
+        raise SystemExit(
+            "--resume/--checkpoint need the result cache; drop --no-cache"
+        )
+    cache_dir = pathlib.Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    path = pathlib.Path(args.checkpoint) if args.checkpoint \
+        else default_checkpoint_path(cache_dir, sweep)
+    return SweepCheckpoint(path, sweep=sweep, resume=args.resume)
+
+
+def _executor(
+    args,
+    progress: Optional[SweepInstrumentation] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
+) -> SweepExecutor:
     return SweepExecutor(
         max_workers=args.workers,
         cache=None if args.no_cache else ResultCache(args.cache_dir),
         progress=progress or SweepInstrumentation(),
+        retry=_retry_policy(args),
+        checkpoint=checkpoint,
     )
 
 
@@ -89,8 +152,21 @@ def _run_one(args, design: str):
     return _executor(args).run_one(_sweep_task(args, design))
 
 
+def _print_fault_summary(progress: SweepInstrumentation) -> None:
+    """One line on retries/resume/failures, only when there is news."""
+    if progress.retries or progress.resumed or progress.failures:
+        print(
+            f"\nfault tolerance: {progress.retries} retr"
+            f"{'y' if progress.retries == 1 else 'ies'}, "
+            f"{progress.resumed} cell(s) resumed from checkpoint, "
+            f"{progress.failures} permanent failure(s)"
+        )
+
+
 def cmd_run(args) -> int:
-    r = _run_one(args, args.design)
+    progress = SweepInstrumentation(name=f"run {args.workload}")
+    with _scoped_checkpoint(args, f"run-{args.workload}") as ckpt:
+        r = _executor(args, progress, ckpt).run_one(_sweep_task(args, args.design))
     rows = [
         ["epochs", r.epochs],
         ["completed", str(r.completed)],
@@ -109,13 +185,17 @@ def cmd_run(args) -> int:
 
         save_run_json(r, args.json, config=_config(args))
         print(f"\nsummary written to {args.json}")
+    _print_fault_summary(progress)
     return 0
 
 
 def cmd_compare(args) -> int:
     designs = args.designs.split(",")
     progress = SweepInstrumentation(name=f"compare {args.workload}")
-    results = _executor(args, progress).run([_sweep_task(args, d) for d in designs])
+    with _scoped_checkpoint(args, f"compare-{args.workload}") as ckpt:
+        results = _executor(args, progress, ckpt).run(
+            [_sweep_task(args, d) for d in designs]
+        )
     baseline = results[0]
     rows = []
     for d, r in zip(designs, results):
@@ -130,6 +210,8 @@ def cmd_compare(args) -> int:
     if args.verbose:
         print()
         print(progress.summary())
+    else:
+        _print_fault_summary(progress)
     return 0
 
 
@@ -141,18 +223,34 @@ def cmd_figure(args) -> int:
     from repro.analysis import experiments as ex
 
     workloads = tuple(args.workloads.split(",")) if args.workloads else ex.QUICK_WORKLOADS
-    setup = ex.ExperimentSetup(
-        config=_config(args),
-        workloads=workloads,
-        scale=args.scale,
-        max_epochs=args.max_epochs,
-        oracle_sample_freqs=4,
-        workers=args.workers,
-        use_cache=not args.no_cache,
-        cache_dir=args.cache_dir,
-    )
-    designs = tuple(args.designs.split(",")) if args.designs else None
-    progress = SweepInstrumentation(name=f"figure {args.figure}", max_workers=args.workers)
+    ckpt_cm = _scoped_checkpoint(args, f"figure-{args.figure}", always=True)
+    with ckpt_cm as ckpt:
+        setup = ex.ExperimentSetup(
+            config=_config(args),
+            workloads=workloads,
+            scale=args.scale,
+            max_epochs=args.max_epochs,
+            oracle_sample_freqs=4,
+            workers=args.workers,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            retry=_retry_policy(args),
+            checkpoint=ckpt,
+        )
+        designs = tuple(args.designs.split(",")) if args.designs else None
+        progress = SweepInstrumentation(
+            name=f"figure {args.figure}", max_workers=args.workers
+        )
+        text = _figure_text(args, setup, designs, progress)
+
+    print(text)
+    print()
+    print(progress.summary())
+    return 0
+
+
+def _figure_text(args, setup, designs, progress) -> str:
+    from repro.analysis import experiments as ex
 
     if args.figure in ("fig14", "fig15", "fig16"):
         matrix = ex.design_matrix(
@@ -180,11 +278,7 @@ def cmd_figure(args) -> int:
         ).render()
     else:  # pragma: no cover - argparse choices guard this
         raise SystemExit(f"unknown figure {args.figure!r}")
-
-    print(text)
-    print()
-    print(progress.summary())
-    return 0
+    return text
 
 
 def cmd_suite(_args) -> int:
@@ -422,6 +516,15 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--cache-dir", default=None,
                         help="result cache directory (default .repro_cache "
                              "or $REPRO_CACHE_DIR)")
+        sp.add_argument("--retries", type=int, default=RetryPolicy().max_attempts,
+                        help="attempts per sweep cell before giving up "
+                             "(1 = no retries; default %(default)s)")
+        sp.add_argument("--resume", action="store_true",
+                        help="skip cells already recorded in the sweep's "
+                             "checkpoint manifest (requires the cache)")
+        sp.add_argument("--checkpoint", metavar="FILE", default=None,
+                        help="checkpoint manifest path (default: "
+                             "<cache-dir>/checkpoints/<sweep>.manifest.jsonl)")
 
     sp = sub.add_parser("run", help="run one workload under one design")
     common(sp)

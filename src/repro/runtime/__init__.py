@@ -1,12 +1,23 @@
-"""Parallel experiment runtime: sweep executor, result cache, instrumentation.
+"""Parallel experiment runtime: sweep executor, cache, fault tolerance.
 
 * :class:`~repro.runtime.executor.SweepExecutor` fans independent
   (workload x design x config) simulation cells across a process pool
-  with deterministic ordering and serial fallback.
+  with deterministic ordering, serial fallback, and per-cell retries
+  governed by a :class:`~repro.runtime.executor.RetryPolicy`
+  (jitterless exponential backoff, automatic in-process final attempt).
 * :class:`~repro.runtime.cache.ResultCache` memoises cell results on
-  disk, keyed by a content hash of everything the result depends on.
+  disk, keyed by a content hash of everything the result depends on;
+  writes are fsync'd and atomically renamed, so a mid-write kill can
+  never leave a torn entry.
+* :class:`~repro.runtime.checkpoint.SweepCheckpoint` durably records
+  completed cell keys in a crash-safe JSONL manifest so an interrupted
+  sweep resumes where it stopped (``repro figure --resume``).
+* :mod:`repro.runtime.faults` injects deterministic crash/hang/corrupt
+  faults (``REPRO_FAULT_PLAN``) so tests and CI can prove the retry and
+  resume machinery end to end.
 * :class:`~repro.runtime.progress.SweepInstrumentation` records per-cell
-  wall time, cache hit/miss counts and worker utilisation.
+  wall time, cache hit/miss counts, retries, failures, resumed cells and
+  worker utilisation.
 * :mod:`repro.runtime.profiling` collects the simulator's hot-path event
   counters (waves scanned, clones taken, bytes snapshotted, ...) and
   offers an opt-in ``cProfile`` wrapper.
@@ -19,7 +30,25 @@ from repro.runtime.cache import (
     default_cache_dir,
     task_key,
 )
-from repro.runtime.executor import SweepExecutor, SweepTask, SweepTimeoutError, run_task
+from repro.runtime.checkpoint import SweepCheckpoint, default_checkpoint_path
+from repro.runtime.executor import (
+    NO_RETRY,
+    FailedCell,
+    RetryPolicy,
+    SweepExecutor,
+    SweepTask,
+    SweepTimeoutError,
+    run_task,
+)
+from repro.runtime.faults import (
+    FAULT_PLAN_ENV,
+    CorruptResult,
+    CorruptResultError,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    active_fault_plan,
+)
 from repro.runtime.profiling import (
     HotPathCounters,
     collect_hotpath,
@@ -31,15 +60,27 @@ from repro.runtime.progress import CellRecord, SweepInstrumentation
 __all__ = [
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
+    "FAULT_PLAN_ENV",
+    "NO_RETRY",
     "CellRecord",
+    "CorruptResult",
+    "CorruptResultError",
+    "FailedCell",
+    "FaultPlan",
+    "FaultSpec",
     "HotPathCounters",
+    "InjectedFaultError",
     "ResultCache",
+    "RetryPolicy",
+    "SweepCheckpoint",
     "SweepExecutor",
     "SweepInstrumentation",
     "SweepTask",
     "SweepTimeoutError",
+    "active_fault_plan",
     "collect_hotpath",
     "default_cache_dir",
+    "default_checkpoint_path",
     "format_hotpath",
     "maybe_cprofile",
     "run_task",

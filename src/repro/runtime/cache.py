@@ -21,6 +21,13 @@ Entries are pickled ``RunResult`` objects, one file per key, under the
 cache directory (default ``.repro_cache/`` in the working directory;
 ``REPRO_CACHE_DIR`` overrides it). A corrupted, truncated or
 unreadable entry is treated as a miss and recomputed - never an error.
+
+Writes are **crash-safe**: each entry is pickled to a uniquely named
+temporary file (key + pid + sequence, so concurrent writers of the same
+key never collide), fsync'd, then atomically renamed over the final
+path. A process killed mid-write leaves at worst a stray ``*.tmp`` file
+- never a torn entry - and ``get`` only ever sees complete entries.
+Stray temporaries from previous crashes are swept by ``put``.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ import json
 import os
 import pathlib
 import pickle
+import time
 from typing import Any, Dict, Mapping, Optional, Union
 
 PathLike = Union[str, pathlib.Path]
@@ -110,6 +118,7 @@ class ResultCache:
         self.dir = pathlib.Path(cache_dir) if cache_dir is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self._seq = 0
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.dir / f"{key}.pkl"
@@ -130,10 +139,16 @@ class ResultCache:
     def put(self, key: str, value: Any) -> None:
         self.dir.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
-        tmp = path.with_suffix(".tmp")
+        # Unique per (process, call): two workers caching the same key
+        # concurrently each rename a *complete* file into place; a kill
+        # mid-write orphans only this writer's temporary.
+        self._seq += 1
+        tmp = self.dir / f"{key}.{os.getpid()}.{self._seq}.tmp"
         try:
             with open(tmp, "wb") as f:
                 pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+                f.flush()
+                os.fsync(f.fileno())
             os.replace(tmp, path)
         except OSError:
             # Caching is best-effort; a read-only or full disk is not fatal.
@@ -141,6 +156,24 @@ class ResultCache:
                 tmp.unlink(missing_ok=True)
             except OSError:
                 pass
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self, max_age_s: float = 3600.0) -> None:
+        """Remove temp files orphaned by crashed writers (best-effort).
+
+        Only clearly stale temporaries are touched: another live writer's
+        in-flight file is younger than the age floor.
+        """
+        cutoff = time.time() - max_age_s
+        try:
+            for tmp in self.dir.glob("*.tmp"):
+                try:
+                    if tmp.stat().st_mtime < cutoff:
+                        tmp.unlink(missing_ok=True)
+                except OSError:
+                    continue
+        except OSError:
+            pass
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses}

@@ -19,6 +19,11 @@ from repro.telemetry.metrics import SECONDS_BUCKETS, MetricsRegistry
 SOURCE_CACHE = "cache"
 SOURCE_SERIAL = "serial"
 SOURCE_PARALLEL = "parallel"
+#: Skipped because the checkpoint manifest proved it already completed.
+SOURCE_RESUMED = "resumed"
+
+#: Sources that actually computed (everything else was loaded).
+_COMPUTED_SOURCES = (SOURCE_SERIAL, SOURCE_PARALLEL)
 
 
 @dataclass(frozen=True)
@@ -30,12 +35,15 @@ class CellRecord:
     design: str
     #: Compute time of the cell itself (0 for cache hits).
     wall_s: float
-    #: One of :data:`SOURCE_CACHE` / :data:`SOURCE_SERIAL` / :data:`SOURCE_PARALLEL`.
+    #: One of :data:`SOURCE_CACHE` / :data:`SOURCE_SERIAL` /
+    #: :data:`SOURCE_PARALLEL` / :data:`SOURCE_RESUMED`.
     source: str
     #: Hot-path profiler counters of the cell's simulation (see
     #: :mod:`repro.runtime.profiling`). For cache hits these describe the
     #: work the cached run did originally, not work done by this sweep.
     hotpath: Optional[Dict[str, int]] = None
+    #: How many tries the cell needed (1 = first attempt succeeded).
+    attempts: int = 1
 
 
 @dataclass
@@ -46,6 +54,10 @@ class SweepInstrumentation:
     max_workers: int = 1
     cells: List[CellRecord] = field(default_factory=list)
     events: List[str] = field(default_factory=list)
+    #: (label, failed attempt, error type) per retryable failure.
+    retry_events: List[tuple] = field(default_factory=list)
+    #: (label, attempts, error type) per cell that exhausted its budget.
+    failed_cells: List[tuple] = field(default_factory=list)
     #: Common telemetry sink. Every recorded cell increments
     #: ``sweep_cells_total`` / ``sweep_cells_<source>``, observes its
     #: wall time in the ``sweep_cell_wall_s`` histogram, and folds its
@@ -71,6 +83,8 @@ class SweepInstrumentation:
         self.registry.histogram("sweep_cell_wall_s", SECONDS_BUCKETS).observe(
             record.wall_s
         )
+        if record.attempts > 1:
+            self.registry.inc("sweep_cells_retried")
         if record.hotpath:
             from repro.runtime.profiling import HotPathCounters
 
@@ -81,6 +95,34 @@ class SweepInstrumentation:
         self.events.append(message)
         self.registry.inc("sweep_notes_total")
 
+    def record_retry(
+        self, label: str, attempt: int, error: BaseException, backoff_s: float
+    ) -> None:
+        """A cell attempt failed retryably and will be re-run."""
+        kind = type(error).__name__
+        self.retry_events.append((label, attempt, kind))
+        self.events.append(
+            f"retry {label}: attempt {attempt} failed ({kind}); "
+            f"backing off {backoff_s:.3f}s"
+        )
+        self.registry.inc("sweep_retries_total")
+        if kind in ("InjectedFaultError", "CorruptResultError"):
+            self.registry.inc("sweep_faults_injected")
+        self.registry.histogram("sweep_retry_backoff_s", SECONDS_BUCKETS).observe(
+            backoff_s
+        )
+
+    def record_failure(
+        self, label: str, attempts: int, error: BaseException
+    ) -> None:
+        """A cell exhausted its retry budget."""
+        kind = type(error).__name__
+        self.failed_cells.append((label, attempts, kind))
+        self.events.append(
+            f"failed {label}: gave up after {attempts} attempt(s) ({kind})"
+        )
+        self.registry.inc("sweep_cells_failed")
+
     # ------------------------------------------------------------------
 
     @property
@@ -89,7 +131,19 @@ class SweepInstrumentation:
 
     @property
     def cache_misses(self) -> int:
-        return sum(1 for c in self.cells if c.source != SOURCE_CACHE)
+        return sum(1 for c in self.cells if c.source in _COMPUTED_SOURCES)
+
+    @property
+    def resumed(self) -> int:
+        return sum(1 for c in self.cells if c.source == SOURCE_RESUMED)
+
+    @property
+    def retries(self) -> int:
+        return len(self.retry_events)
+
+    @property
+    def failures(self) -> int:
+        return len(self.failed_cells)
 
     @property
     def compute_s(self) -> float:
@@ -141,6 +195,12 @@ class SweepInstrumentation:
             ["compute time (s)", self.compute_s],
             ["worker utilisation", self.utilisation],
         ]
+        if self.resumed:
+            rows.append(["resumed from checkpoint", self.resumed])
+        if self.retries:
+            rows.append(["retries", self.retries])
+        if self.failures:
+            rows.append(["failed cells", self.failures])
         for c in self.slowest_cells():
             rows.append([f"slowest: {c.label}", c.wall_s])
         for name, value in self.hotpath_totals().items():
@@ -157,6 +217,11 @@ class SweepInstrumentation:
             "cells": len(self.cells),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "resumed": self.resumed,
+            "retries": self.retries,
+            "failures": self.failures,
+            "retry_events": [list(e) for e in self.retry_events],
+            "failed_cells": [list(e) for e in self.failed_cells],
             "workers": self.max_workers,
             "wall_s": self.wall_s,
             "compute_s": self.compute_s,
@@ -173,4 +238,5 @@ __all__ = [
     "SOURCE_CACHE",
     "SOURCE_SERIAL",
     "SOURCE_PARALLEL",
+    "SOURCE_RESUMED",
 ]

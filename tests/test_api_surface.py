@@ -70,6 +70,8 @@ class TestTopLevel:
         "repro.runtime",
         "repro.runtime.executor",
         "repro.runtime.cache",
+        "repro.runtime.checkpoint",
+        "repro.runtime.faults",
         "repro.runtime.progress",
         "repro.runtime.profiling",
     ],

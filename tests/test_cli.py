@@ -74,3 +74,43 @@ class TestCommands:
             "--scale", "0.1", "--max-epochs", "40", "--objective", "cap5",
         ])
         assert rc == 0
+
+
+class TestFaultTolerantSweeps:
+    FIGURE = [
+        "figure", "fig14", "--workloads", "comd", "--designs", "STALL",
+        "--cus", "2", "--waves", "4", "--scale", "0.1", "--max-epochs", "40",
+    ]
+
+    def test_figure_resume_round_trip(self, capsys, tmp_path):
+        cache = ["--cache-dir", str(tmp_path)]
+        assert main(self.FIGURE + cache) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "checkpoints" / "figure-fig14.manifest.jsonl").exists()
+
+        assert main(self.FIGURE + cache + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resumed from checkpoint" in second
+        # The resumed run renders the same figure rows.
+        assert first.splitlines()[:5] == second.splitlines()[:5]
+
+    def test_resume_requires_cache(self):
+        with pytest.raises(SystemExit):
+            main(self.FIGURE + ["--no-cache", "--resume"])
+
+    def test_bad_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.FIGURE + ["--no-cache", "--retries", "0"])
+
+    def test_run_retries_under_fault_plan(self, capsys, monkeypatch):
+        from repro.runtime.faults import FAULT_PLAN_ENV, FaultPlan, FaultSpec
+
+        plan = FaultPlan((FaultSpec("comd/*", "raise", attempts=1),))
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        rc = main([
+            "run", "comd", "--design", "STATIC@1.7", "--cus", "2", "--waves", "4",
+            "--scale", "0.1", "--max-epochs", "40", "--no-cache",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault tolerance: 1 retry" in out

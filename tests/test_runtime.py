@@ -10,6 +10,8 @@ from repro.config import small_config
 from repro.core.objectives import EDnPObjective, PerformanceCapObjective
 from repro.runtime.cache import ResultCache, describe_objective, task_key
 from repro.runtime.executor import (
+    NO_RETRY,
+    RetryPolicy,
     SweepExecutor,
     SweepTask,
     SweepTimeoutError,
@@ -153,9 +155,10 @@ class TestExecutor:
         assert ex.progress.events  # the fallback was recorded
 
     def test_task_timeout_raises(self):
+        # NO_RETRY restores the pre-retry contract: first timeout is fatal.
         slow = [make_task(scale=0.5, max_epochs=400),
                 make_task(workload="xsbench", scale=0.5, max_epochs=400)]
-        ex = SweepExecutor(max_workers=2, task_timeout_s=1e-4)
+        ex = SweepExecutor(max_workers=2, task_timeout_s=1e-4, retry=NO_RETRY)
         with pytest.raises(SweepTimeoutError):
             ex.run(slow)
 
@@ -264,3 +267,126 @@ class TestMetricsSink:
         HotPathCounters(cycles=3, clones=2).to_registry(reg)
         assert reg.counter_values("hotpath_")["hotpath_cycles"] == 3
         assert reg.counter_values("hotpath_")["hotpath_clones"] == 2
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_capped(self):
+        p = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=0.3)
+        assert p.delay_for(1) == 0.0  # first attempt is never delayed
+        assert p.delay_for(2) == pytest.approx(0.1)
+        assert p.delay_for(3) == pytest.approx(0.2)
+        assert p.delay_for(4) == pytest.approx(0.3)  # capped
+        assert p.delay_for(9) == pytest.approx(0.3)
+        # Jitterless: the schedule is a pure function of the attempt.
+        assert [p.delay_for(n) for n in range(1, 6)] == [
+            p.delay_for(n) for n in range(1, 6)
+        ]
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(on_exhausted="explode")
+
+    def test_no_retry_is_single_attempt(self):
+        assert NO_RETRY.max_attempts == 1
+
+    def test_retryable_classification(self):
+        from concurrent.futures.process import BrokenProcessPool
+        from repro.runtime.faults import CorruptResultError, InjectedFaultError
+
+        p = RetryPolicy()
+        for exc in (InjectedFaultError("x"), CorruptResultError("x"),
+                    BrokenProcessPool("x"), SweepTimeoutError("x")):
+            assert p.is_retryable(exc)
+        assert not p.is_retryable(ValueError("x"))
+
+
+class _FakeFuture:
+    def __init__(self):
+        self._cancelled = False
+
+    def result(self, timeout=None):
+        import concurrent.futures
+
+        raise concurrent.futures.TimeoutError()
+
+    def cancel(self):
+        self._cancelled = True
+        return True
+
+    def done(self):
+        return False
+
+    def cancelled(self):
+        return self._cancelled
+
+    def exception(self):
+        return None
+
+
+class _FakePool:
+    """Records shutdown arguments; every submitted future times out."""
+
+    instances = []
+
+    def __init__(self, max_workers=None):
+        self.futures = []
+        self.shutdown_calls = []
+        _FakePool.instances.append(self)
+
+    def submit(self, fn, *args, **kwargs):
+        fut = _FakeFuture()
+        self.futures.append(fut)
+        return fut
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdown_calls.append({"wait": wait, "cancel_futures": cancel_futures})
+
+
+class TestTimeoutReapsPool:
+    """Bugfix: a timed-out sweep must cancel outstanding futures and shut
+    the pool down with ``cancel_futures=True`` instead of leaking busy
+    workers behind the raised SweepTimeoutError."""
+
+    def test_timeout_cancels_and_shuts_down(self, monkeypatch):
+        import concurrent.futures
+
+        _FakePool.instances.clear()
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _FakePool
+        )
+        ex = SweepExecutor(max_workers=2, task_timeout_s=0.01, retry=NO_RETRY)
+        with pytest.raises(SweepTimeoutError):
+            ex.run(GRID)
+        (pool,) = _FakePool.instances
+        assert any(
+            c == {"wait": False, "cancel_futures": True} for c in pool.shutdown_calls
+        ), pool.shutdown_calls
+        # Every future except the one being collected was cancelled.
+        assert sum(1 for f in pool.futures if f.cancelled()) == len(GRID) - 1
+
+    def test_timeout_with_retries_exhausts_and_records(self, monkeypatch):
+        """All-timeout grid + on_exhausted='record': the sweep completes
+        with FailedCell markers instead of dying, and every pool was
+        reaped with cancel_futures=True."""
+        import concurrent.futures
+
+        from repro.runtime.executor import FailedCell
+
+        _FakePool.instances.clear()
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _FakePool
+        )
+        policy = RetryPolicy(
+            max_attempts=2, backoff_base_s=0.0, serial_final_attempt=False,
+            on_exhausted="record",
+        )
+        ex = SweepExecutor(max_workers=2, task_timeout_s=0.01, retry=policy)
+        results = ex.run(GRID)
+        assert all(isinstance(r, FailedCell) for r in results)
+        assert not any(results)  # FailedCell is falsy
+        assert ex.progress.failures == len(GRID)
+        assert ex.progress.retries >= 1
+        for pool in _FakePool.instances:
+            assert any(c["cancel_futures"] for c in pool.shutdown_calls)
