@@ -18,6 +18,10 @@ Public API tour:
 * :mod:`repro.telemetry` - zero-overhead-when-off observability:
   mergeable metrics registry, per-epoch decision trace, Perfetto
   export, prediction-accuracy drill-down.
+* :mod:`repro.service` - the online decision service: ``repro serve``
+  exposes PCSTALL (any servable design) over a length-prefixed JSON
+  protocol with micro-batching and backpressure; ``repro replay``
+  verifies it against offline traces bit-for-bit.
 
 Quickstart::
 
@@ -51,7 +55,7 @@ from repro.telemetry import (
     TelemetryConfig,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "DvfsConfig",

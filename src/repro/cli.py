@@ -21,6 +21,13 @@ Commands:
   error percentiles, decision confusion matrix vs the oracle, and
   per-PC error attribution, across workloads or from a saved
   ``--jsonl`` trace.
+* ``serve``    - run the online DVFS decision service: sessions stream
+  per-epoch observations over a length-prefixed JSON protocol and get
+  per-domain frequency decisions back; ``/healthz`` + ``/metrics`` on
+  a second port; SIGTERM/SIGINT drain gracefully.
+* ``replay``   - stream a trace recorded with ``trace --jsonl FILE
+  --observations`` through a live server and verify every returned
+  decision is bit-identical to the offline simulation's.
 
 Sweep commands (``run``/``compare``/``figure``) accept ``--workers N``
 to fan cells across processes, and cache results on disk (disable with
@@ -388,10 +395,18 @@ def _recorder_for(args):
     records per epoch, plus headers/footers)."""
     from repro.telemetry import EpochTraceRecorder, TelemetryConfig
 
+    observations = getattr(args, "observations", False)
+    jsonl = getattr(args, "jsonl", None)
+    if observations and not jsonl:
+        raise SystemExit("--observations streams to disk only; add --jsonl FILE")
     n_domains = max(1, args.cus // args.cus_per_domain)
     ring = (args.max_epochs + 2) * (n_domains + 1)
     return EpochTraceRecorder(
-        TelemetryConfig(ring_size=ring, jsonl_path=getattr(args, "jsonl", None))
+        TelemetryConfig(
+            ring_size=ring,
+            jsonl_path=jsonl,
+            record_observations=observations,
+        )
     )
 
 
@@ -491,8 +506,73 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.server import DecisionService, ServiceConfig
+
+    service = DecisionService(ServiceConfig(
+        host=args.host,
+        port=args.port,
+        health_port=None if args.health_port < 0 else args.health_port,
+        max_sessions=args.max_sessions,
+        max_inflight=args.max_inflight,
+        batch_max=args.batch_max,
+        drain_timeout_s=args.drain_timeout,
+    ))
+
+    async def _serve() -> None:
+        await service.start()
+        where = f"{args.host}:{service.port}"
+        health = ("" if service.health_port is None
+                  else f", health on :{service.health_port}")
+        print(f"decision service listening on {where}{health}", flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                sig, lambda: loop.create_task(service.shutdown())
+            )
+        await service.wait_closed()
+
+    asyncio.run(_serve())
+    counters = service.registry.counter_values("service_")
+    print(
+        f"drained: {counters.get('service_sessions_opened', 0):.0f} session(s), "
+        f"{counters.get('service_decisions', 0):.0f} decision(s), "
+        f"{counters.get('service_shed', 0):.0f} shed",
+        flush=True,
+    )
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.runtime.executor import RetryPolicy
+    from repro.service.replay import replay_trace
+
+    report = replay_trace(
+        args.trace,
+        host=args.host,
+        port=args.port,
+        timeout_s=args.timeout,
+        retry=RetryPolicy(
+            max_attempts=args.retries,
+            backoff_base_s=0.05,
+            backoff_max_s=1.0,
+            retryable=(ConnectionError, OSError),
+            serial_final_attempt=False,
+        ),
+    )
+    print(report.render())
+    return 0 if report.bit_identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    p.add_argument("--version", action="version",
+                   version=f"%(prog)s {__version__}")
     sub = p.add_subparsers(dest="command", required=True)
 
     def common(sp, workload_arg=True):
@@ -598,6 +678,11 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--perfetto", metavar="FILE",
                     help="write a Chrome-trace JSON timeline to FILE "
                          "(open at https://ui.perfetto.dev)")
+    sp.add_argument("--observations", action="store_true",
+                    help="also stream per-epoch observation records (the "
+                         "full predictor input) into the --jsonl file, "
+                         "making the trace replayable against a live "
+                         "server (repro replay)")
     sp.set_defaults(fn=cmd_trace)
 
     sp = sub.add_parser(
@@ -619,6 +704,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("storage", help="print TABLE I storage overheads")
     sp.set_defaults(fn=cmd_storage)
+
+    from repro.service.protocol import DEFAULT_HEALTH_PORT, DEFAULT_PORT
+
+    sp = sub.add_parser(
+        "serve",
+        help="run the online DVFS decision service (PCSTALL over a socket)",
+    )
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=DEFAULT_PORT,
+                    help="decision port (0 = ephemeral; default %(default)s)")
+    sp.add_argument("--health-port", type=int, default=DEFAULT_HEALTH_PORT,
+                    help="/healthz + /metrics HTTP port (0 = ephemeral, "
+                         "-1 = disabled; default %(default)s)")
+    sp.add_argument("--max-sessions", type=int, default=64,
+                    help="admission cap on concurrent sessions "
+                         "(default %(default)s)")
+    sp.add_argument("--max-inflight", type=int, default=8,
+                    help="per-session queued observations before shedding "
+                         "(default %(default)s)")
+    sp.add_argument("--batch-max", type=int, default=32,
+                    help="max observations decided per batch pass "
+                         "(default %(default)s)")
+    sp.add_argument("--drain-timeout", type=float, default=10.0,
+                    help="seconds shutdown waits for in-flight work "
+                         "(default %(default)s)")
+    sp.set_defaults(fn=cmd_serve)
+
+    sp = sub.add_parser(
+        "replay",
+        help="stream a recorded trace through a live server and verify "
+             "bit-identical decisions",
+    )
+    sp.add_argument("trace",
+                    help="JSONL from: repro trace <workload> --jsonl FILE "
+                         "--observations")
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=DEFAULT_PORT)
+    sp.add_argument("--timeout", type=float, default=30.0,
+                    help="per-reply timeout in seconds (default %(default)s)")
+    sp.add_argument("--retries", type=int, default=5,
+                    help="attempt budget for connects and shed observations "
+                         "(default %(default)s)")
+    sp.set_defaults(fn=cmd_replay)
     return p
 
 

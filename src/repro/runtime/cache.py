@@ -81,6 +81,16 @@ def _canonical(obj: Any) -> Any:
     return {"__class__": type(obj).__name__, **state}
 
 
+def canonicalize(obj: Any) -> Any:
+    """Public face of :func:`_canonical`.
+
+    The telemetry schema embeds configs in this form (so a trace's
+    ``sim_config`` and its ``config_hash`` are two views of one
+    structure), and the decision service reconstructs configs from it.
+    """
+    return _canonical(obj)
+
+
 def describe_objective(objective: Optional[Any]) -> Any:
     """Stable key fragment for an objective (None = driver default)."""
     return _canonical(objective) if objective is not None else None
@@ -184,6 +194,7 @@ __all__ = [
     "CACHE_FORMAT_VERSION",
     "DEFAULT_CACHE_DIR",
     "ResultCache",
+    "canonicalize",
     "config_hash",
     "default_cache_dir",
     "describe_objective",

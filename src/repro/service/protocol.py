@@ -1,0 +1,339 @@
+"""Wire protocol of the online DVFS decision service.
+
+Framing
+-------
+Every message is one *frame*: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON (one object per frame).
+Length-prefixed JSON keeps the protocol stdlib-only, debuggable with a
+pipe and ``json.loads``, and language-agnostic for non-Python clients.
+
+Float fidelity
+--------------
+Python's ``json`` serialises floats with ``repr``, which round-trips
+IEEE-754 binary64 exactly. Every quantity the predictor consumes
+(stall nanoseconds, commit counts, frequencies, truth lines) therefore
+survives the wire bit-for-bit, which is what makes ``repro replay``'s
+"online decisions == offline decisions" check exact rather than
+approximate.
+
+Message vocabulary
+------------------
+Client -> server:
+
+``open``
+    Start a session: ``design`` (registry name), ``config`` (the wire
+    form of a :class:`~repro.config.SimConfig`, see
+    :func:`sim_config_from_wire`), optional ``objective`` (display
+    name, see :func:`objective_from_name`). The reply carries the
+    decision for epoch 0 - mirroring the offline loop, which calls
+    ``controller.decide()`` before the first epoch runs.
+``observe``
+    One elapsed epoch: ``epoch`` (index), ``result`` (wire
+    :class:`~repro.gpu.gpu.EpochResult`), optional ``truth`` (oracle
+    sensitivity lines, required by truth-consuming designs), ``seq``
+    (client-chosen correlator echoed in the reply). The reply is the
+    decision for ``epoch + 1``.
+``ping`` / ``close``
+    Liveness probe / orderly goodbye.
+
+Server -> client: ``open_ok``, ``decision``, ``pong``, ``bye``,
+``shed`` (backpressure - resend after a backoff), ``error`` (carries
+``code`` + ``error``; the session survives unless the error says
+otherwise), ``shutdown`` (server is draining; no more requests will be
+served).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import socket
+import struct
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.config import DvfsConfig, GpuConfig, MemoryConfig, PowerConfig, SimConfig
+from repro.core.objectives import (
+    EDnPObjective,
+    Objective,
+    PerformanceCapObjective,
+    QoSDeadlineObjective,
+    StaticObjective,
+)
+from repro.core.sensitivity import LinearSensitivity
+from repro.gpu.cu import CuEpochStats
+from repro.gpu.gpu import EpochResult, WaveEpochRecord
+from repro.gpu.wavefront import WavefrontStats
+
+#: Protocol revision; an ``open`` carrying a different one is rejected.
+PROTOCOL_VERSION = 1
+
+#: Default decision-service port (and health port right above it).
+DEFAULT_PORT = 8472
+DEFAULT_HEALTH_PORT = 8473
+
+#: Ceiling on one frame's payload. A paper-scale observation (64 CUs x
+#: 40 waves) is ~1 MB of JSON; 64 MB leaves room for much larger
+#: platforms while bounding what a garbage length prefix can allocate.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+# Client -> server message types.
+MSG_OPEN = "open"
+MSG_OBSERVE = "observe"
+MSG_PING = "ping"
+MSG_CLOSE = "close"
+
+# Server -> client message types.
+MSG_OPEN_OK = "open_ok"
+MSG_DECISION = "decision"
+MSG_PONG = "pong"
+MSG_BYE = "bye"
+MSG_SHED = "shed"
+MSG_ERROR = "error"
+MSG_SHUTDOWN = "shutdown"
+
+
+class ProtocolError(RuntimeError):
+    """A frame or payload that violates the wire protocol."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+
+def encode_frame(message: Mapping[str, object]) -> bytes:
+    """One wire frame: 4-byte big-endian length + compact JSON."""
+    payload = json.dumps(
+        message, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload {len(payload)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return struct.pack(">I", len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, object]:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, object]]:
+    """Read one frame; None on a clean or abrupt connection end."""
+    try:
+        header = await reader.readexactly(4)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds {MAX_FRAME_BYTES} bytes"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    return decode_payload(payload)
+
+
+def send_frame(sock: socket.socket, message: Mapping[str, object]) -> None:
+    """Blocking-socket counterpart of the stream writer (client side)."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, object]]:
+    """Blocking read of one frame; None when the peer closed."""
+    header = _recv_exact(sock, 4)
+    if header is None:
+        return None
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds {MAX_FRAME_BYTES} bytes"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        return None
+    return decode_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# Wire <-> simulator objects
+#
+# The *_to_wire encoders live in repro.telemetry.schema (the recorder
+# writes them into traces without importing gpu/dvfs modules); the
+# decoders live here because reconstructing live simulator objects is
+# exactly the service's job.
+
+def lines_to_wire(
+    lines: Optional[List[LinearSensitivity]],
+) -> Optional[List[List[float]]]:
+    if lines is None:
+        return None
+    return [[ln.i0, ln.slope] for ln in lines]
+
+
+def lines_from_wire(wire: Any) -> List[LinearSensitivity]:
+    try:
+        return [LinearSensitivity(float(i0), float(slope)) for i0, slope in wire]
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed truth lines: {exc}") from None
+
+
+def sim_config_from_wire(wire: Mapping[str, Any]) -> SimConfig:
+    """Rebuild a :class:`~repro.config.SimConfig` from its wire form.
+
+    Inverse of :func:`repro.telemetry.schema.sim_config_to_wire`. Field
+    names are applied as keyword arguments, so an unknown field (a
+    config from a different repro version) fails loudly instead of
+    being silently dropped.
+    """
+    try:
+        gpu_wire = dict(wire["gpu"])
+        gpu_wire["memory"] = MemoryConfig(**wire["gpu"]["memory"])
+        dvfs_wire = dict(wire["dvfs"])
+        dvfs_wire["frequencies_ghz"] = tuple(dvfs_wire["frequencies_ghz"])
+        return SimConfig(
+            gpu=GpuConfig(**gpu_wire),
+            dvfs=DvfsConfig(**dvfs_wire),
+            power=PowerConfig(**wire["power"]),
+            seed=int(wire["seed"]),
+        )
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed sim config: {exc}") from None
+
+
+def epoch_result_from_wire(wire: Mapping[str, Any]) -> EpochResult:
+    """Rebuild an :class:`~repro.gpu.gpu.EpochResult` from its wire form.
+
+    Inverse of :func:`repro.telemetry.schema.epoch_result_to_wire`;
+    restores the per-CU and per-wavefront stats through the same
+    ``restore_capture`` paths the GPU snapshot machinery uses.
+    """
+    try:
+        cu_stats = []
+        for cap in wire["cu_stats"]:
+            stats = CuEpochStats()
+            stats.restore_capture(tuple(cap))
+            cu_stats.append(stats)
+        wave_records = []
+        for cu_records in wire["wave_records"]:
+            records = []
+            for wf_id, age_rank, start_pc_idx, next_pc_idx, cap in cu_records:
+                wstats = WavefrontStats()
+                wstats.restore_capture(tuple(cap))
+                records.append(
+                    WaveEpochRecord(
+                        wf_id=int(wf_id),
+                        age_rank=int(age_rank),
+                        start_pc_idx=int(start_pc_idx),
+                        next_pc_idx=int(next_pc_idx),
+                        stats=wstats,
+                    )
+                )
+            wave_records.append(tuple(records))
+        return EpochResult(
+            t_start=float(wire["t_start"]),
+            t_end=float(wire["t_end"]),
+            frequencies_ghz=tuple(wire["frequencies_ghz"]),
+            cu_stats=tuple(cu_stats),
+            wave_records=tuple(wave_records),
+            transitions=int(wire["transitions"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed epoch result: {exc}") from None
+
+
+#: Display-name patterns for the objective registry (see
+#: ``repro.core.objectives``; each class stamps ``self.name``).
+_EDNP_RE = re.compile(r"^ED(\d+)P$")
+_ENERGY_RE = re.compile(r"^ENERGY@(\d+(?:\.\d+)?)%$")
+_QOS_RE = re.compile(r"^QOS@(\d+(?:\.\d+)?)$")
+_STATIC_RE = re.compile(r"^STATIC@(\d+(?:\.\d+)?)(?:GHz)?$", re.IGNORECASE)
+_CLI_CAP_RE = re.compile(r"^cap(\d+(?:\.\d+)?)$")
+_CLI_EDNP_RE = re.compile(r"^ed(\d*)p$")
+
+
+def objective_from_name(name: str) -> Optional[Objective]:
+    """Objective instance for a display or CLI name; None = default.
+
+    Accepts the display names objectives stamp on themselves (``EDP``,
+    ``ED2P``, ``ENERGY@5%``, ``QOS@1000``, ``STATIC@1.7GHz``) - which is
+    what run headers record - plus the CLI spellings (``ed2p``,
+    ``cap5``). The empty string means "driver default" (ED2P, matching
+    :func:`repro.dvfs.designs.make_controller`).
+    """
+    name = name.strip()
+    if not name:
+        return None
+    if name == "EDP":
+        return EDnPObjective(1)
+    m = _EDNP_RE.match(name)
+    if m:
+        return EDnPObjective(int(m.group(1)))
+    m = _CLI_EDNP_RE.match(name)
+    if m:
+        return EDnPObjective(int(m.group(1) or 1))
+    m = _ENERGY_RE.match(name)
+    if m:
+        return PerformanceCapObjective(float(m.group(1)) / 100.0)
+    m = _CLI_CAP_RE.match(name)
+    if m:
+        return PerformanceCapObjective(float(m.group(1)) / 100.0)
+    m = _QOS_RE.match(name)
+    if m:
+        return QoSDeadlineObjective(float(m.group(1)))
+    m = _STATIC_RE.match(name)
+    if m:
+        return StaticObjective(float(m.group(1)))
+    raise ProtocolError(f"unknown objective name {name!r}")
+
+
+__all__ = [
+    "DEFAULT_HEALTH_PORT",
+    "DEFAULT_PORT",
+    "MAX_FRAME_BYTES",
+    "MSG_BYE",
+    "MSG_CLOSE",
+    "MSG_DECISION",
+    "MSG_ERROR",
+    "MSG_OBSERVE",
+    "MSG_OPEN",
+    "MSG_OPEN_OK",
+    "MSG_PING",
+    "MSG_PONG",
+    "MSG_SHED",
+    "MSG_SHUTDOWN",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_payload",
+    "encode_frame",
+    "epoch_result_from_wire",
+    "lines_from_wire",
+    "lines_to_wire",
+    "objective_from_name",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "sim_config_from_wire",
+]

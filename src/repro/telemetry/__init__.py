@@ -25,6 +25,7 @@ test per epoch and allocates nothing - tier-1 results stay bit-identical
 from repro.telemetry.accuracy import AccuracyReport, percentile
 from repro.telemetry.exporters import perfetto_trace, save_perfetto_json
 from repro.telemetry.metrics import (
+    BATCH_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -36,7 +37,9 @@ from repro.telemetry.schema import (
     TRACE_SCHEMA_VERSION,
     build_meta,
     check_meta,
+    epoch_result_to_wire,
     load_trace_jsonl,
+    sim_config_to_wire,
     trace_meta,
     validate_records,
     validate_trace_file,
@@ -55,10 +58,13 @@ __all__ = [
     "EpochTraceRecorder",
     "PcErrorStat",
     "TelemetryConfig",
+    "BATCH_BUCKETS",
     "TRACE_SCHEMA_VERSION",
     "build_meta",
     "check_meta",
+    "epoch_result_to_wire",
     "load_trace_jsonl",
+    "sim_config_to_wire",
     "trace_meta",
     "validate_records",
     "validate_trace_file",

@@ -38,6 +38,10 @@ SECONDS_BUCKETS: Tuple[float, ...] = (
     0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0,
 )
 
+#: Default histogram bounds for small batch sizes (the decision
+#: service's micro-batches): powers of two up to its default batch cap.
+BATCH_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
 
 @dataclass
 class Counter:
@@ -238,6 +242,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "merge_all",
+    "BATCH_BUCKETS",
     "RATIO_BUCKETS",
     "SECONDS_BUCKETS",
 ]

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.telemetry.metrics import MetricsRegistry, RATIO_BUCKETS
-from repro.telemetry.schema import build_meta
+from repro.telemetry.schema import build_meta, epoch_result_to_wire, sim_config_to_wire
 
 #: Frequency comparison slack (GHz); matches the oracle's grid tolerance.
 _FREQ_ABS_TOL_GHZ = 1e-6
@@ -59,10 +59,21 @@ class TelemetryConfig:
     jsonl_path: Optional[str] = None
     #: Aggregate per-PC prediction-error attribution across the run.
     record_pc_attribution: bool = True
+    #: Stream one ``observation`` record per epoch: the full
+    #: :class:`~repro.gpu.gpu.EpochResult` in wire form plus oracle
+    #: truth lines, and embed the full ``sim_config`` in the run
+    #: header - everything ``repro replay`` needs to re-drive a live
+    #: decision service through the run. JSONL-only (observations are
+    #: too large for the ring), so requires ``jsonl_path``.
+    record_observations: bool = False
 
     def __post_init__(self) -> None:
         if self.ring_size < 0:
             raise ValueError("ring_size must be non-negative")
+        if self.record_observations and self.jsonl_path is None:
+            raise ValueError(
+                "record_observations streams to disk only; set jsonl_path"
+            )
 
 
 @dataclass
@@ -125,6 +136,11 @@ class EpochTraceRecorder:
         self._cus_per_domain = gpu_cfg.cus_per_domain
         self._freq_grid = tuple(sim_config.dvfs.frequencies_ghz)
         self._last_pc_cumulative = None
+        extra: Dict[str, object] = {}
+        if self.config.record_observations:
+            # Not named "config": build_meta's first parameter owns that
+            # word, and replay reads this key explicitly.
+            extra["sim_config"] = sim_config_to_wire(sim_config)
         self.meta = build_meta(
             sim_config,
             workload=workload,
@@ -133,6 +149,7 @@ class EpochTraceRecorder:
             n_domains=self._n_domains,
             epoch_ns=sim_config.dvfs.epoch_ns,
             frequencies_ghz=list(self._freq_grid),
+            **extra,
         )
         self._emit({"type": "run", **self.meta}, count=False)
 
@@ -197,6 +214,28 @@ class EpochTraceRecorder:
             self._last_pc_cumulative = dict(pc_cumulative)
         if self.config.record_epochs:
             self._emit(epoch_rec)
+
+        if self.config.record_observations:
+            # The complete predictor input for this epoch; with the run
+            # header's sim_config this is sufficient to replay the run
+            # decision-for-decision (repro replay). Stream-only: one
+            # observation holds every wavefront's counters, and counting
+            # or ring-buffering it would distort the epoch/domain
+            # bookkeeping the drill-down tools rely on.
+            self._emit(
+                {
+                    "type": "observation",
+                    "epoch": epoch_index,
+                    "result": epoch_result_to_wire(result),
+                    "truth": (
+                        [[ln.i0, ln.slope] for ln in sample.lines]
+                        if sample is not None
+                        else None
+                    ),
+                },
+                count=False,
+                ring=False,
+            )
 
         per = self._cus_per_domain
         rel_errors: List[Optional[float]] = []
@@ -331,14 +370,18 @@ class EpochTraceRecorder:
         return [r for r in self.records if r.get("type") == "domain"]
 
     def _emit(
-        self, record: Dict[str, object], count: bool = True, final: bool = False
+        self,
+        record: Dict[str, object],
+        count: bool = True,
+        final: bool = False,
+        ring: bool = True,
     ) -> None:
         if count:
             self.total_records += 1
             self.registry.inc("telemetry_records")
         if final:
             self.final_records.append(record)
-        elif self.config.ring_size > 0:
+        elif ring and self.config.ring_size > 0:
             self.records.append(record)
         if self.config.jsonl_path is not None:
             if self._fh is None:

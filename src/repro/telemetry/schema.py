@@ -34,13 +34,25 @@ Record types in an epoch JSONL stream, one JSON object per line:
     run (one line per distinct start PC).
 ``summary``
     Final :class:`~repro.dvfs.simulation.RunResult` digest.
+``observation``
+    Opt-in (``TelemetryConfig.record_observations``): the *complete*
+    predictor input of one elapsed epoch - the
+    :class:`~repro.gpu.gpu.EpochResult` in wire form
+    (:func:`epoch_result_to_wire`) plus the oracle truth lines when
+    sampling ran. With these, ``repro replay`` can re-drive a live
+    decision service through the exact offline epoch sequence; the run
+    header additionally embeds the full ``sim_config`` so the server
+    can rebuild an identical controller. Observation records are
+    streamed to the JSONL file only (never the in-memory ring - one
+    record carries every wavefront's counters and would evict the
+    timeline the ring exists for).
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 PathLike = Union[str, pathlib.Path]
 
@@ -60,7 +72,51 @@ REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
     "pc": ("type", "pc_idx", "samples", "committed", "weighted_error"),
     "summary": ("type", "workload", "design", "epochs", "delay_ns",
                 "energy_total"),
+    "observation": ("type", "epoch", "result"),
 }
+
+
+def epoch_result_to_wire(result: Any) -> Dict[str, object]:
+    """JSON-encodable form of an :class:`~repro.gpu.gpu.EpochResult`.
+
+    Uses the same flat ``capture()`` tuples the GPU snapshot machinery
+    defined for per-CU and per-wavefront stats, so the wire format stays
+    in lock-step with the simulator's own notion of "complete state".
+    Python's ``json`` emits shortest-repr floats, which round-trip IEEE
+    binary64 exactly - decoding the wire form reconstructs a result
+    whose every float is bit-identical to the original
+    (``repro.service.protocol.epoch_result_from_wire`` is the inverse).
+    """
+    return {
+        "t_start": result.t_start,
+        "t_end": result.t_end,
+        "frequencies_ghz": list(result.frequencies_ghz),
+        "transitions": result.transitions,
+        "cu_stats": [list(s.capture()) for s in result.cu_stats],
+        "wave_records": [
+            [
+                [r.wf_id, r.age_rank, r.start_pc_idx, r.next_pc_idx,
+                 list(r.stats.capture())]
+                for r in cu_records
+            ]
+            for cu_records in result.wave_records
+        ],
+    }
+
+
+def sim_config_to_wire(config: Any) -> Dict[str, object]:
+    """JSON-encodable form of a :class:`~repro.config.SimConfig`.
+
+    The exact canonical structure the result cache hashes (see
+    :func:`repro.runtime.cache.config_hash`), so a trace's embedded
+    config and its ``config_hash`` meta field always agree.
+    """
+    from repro.runtime.cache import canonicalize
+
+    wire = canonicalize(config)
+    if not isinstance(wire, dict):  # pragma: no cover - SimConfig is a dataclass
+        raise TypeError(f"config did not canonicalise to a mapping: {config!r}")
+    return wire
 
 
 def build_meta(config=None, **extra) -> Dict[str, object]:
@@ -163,6 +219,8 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "REQUIRED_FIELDS",
     "build_meta",
+    "epoch_result_to_wire",
+    "sim_config_to_wire",
     "check_meta",
     "validate_record",
     "validate_records",

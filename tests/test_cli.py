@@ -22,6 +22,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "not-a-workload"])
 
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_version_matches_pyproject(self):
+        import os
+        import re
+
+        from repro import __version__
+
+        pyproject = os.path.join(os.path.dirname(__file__), "..", "pyproject.toml")
+        with open(pyproject, "r", encoding="utf-8") as handle:
+            match = re.search(r'^version\s*=\s*"([^"]+)"', handle.read(), re.M)
+        assert match is not None
+        assert match.group(1) == __version__
+
 
 class TestCommands:
     def test_suite(self, capsys):

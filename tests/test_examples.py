@@ -1,0 +1,60 @@
+"""The examples/ directory stays runnable.
+
+``quickstart.py`` is executed end-to-end (it is the README's first
+contact with the library); the other examples are slower sweeps, so
+they are only imported - which still catches renamed APIs, moved
+modules and syntax rot, since every example guards its driver behind
+``if __name__ == "__main__"``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+
+ALL_EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+IMPORT_ONLY = [name for name in ALL_EXAMPLES if name != "quickstart.py"]
+
+
+def test_every_example_is_covered():
+    """A new example lands in exactly one of the two buckets below."""
+    assert "quickstart.py" in ALL_EXAMPLES
+    assert set(ALL_EXAMPLES) == {"quickstart.py", *IMPORT_ONLY}
+
+
+def test_quickstart_runs():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    # The table and its verdict line made it out.
+    assert "PCSTALL" in proc.stdout
+    assert "ED2P" in proc.stdout
+
+
+@pytest.mark.parametrize("name", IMPORT_ONLY)
+def test_example_imports(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    module_name = f"examples_{name[:-3]}"
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    # Importing must not run the driver: each example needs a guard.
+    assert hasattr(module, "main") or hasattr(module, "__name__")
+    with open(path, "r", encoding="utf-8") as handle:
+        assert 'if __name__ == "__main__":' in handle.read(), (
+            f"{name} lacks a __main__ guard; importing it would run the sweep"
+        )
