@@ -22,6 +22,10 @@ Public API tour:
   exposes PCSTALL (any servable design) over a length-prefixed JSON
   protocol with micro-batching and backpressure; ``repro replay``
   verifies it against offline traces bit-for-bit.
+* :mod:`repro.validation` - differential validation: post-hoc invariant
+  auditors over run artifacts, cross-checkers for the repo's
+  bit-exactness claims, and the executable specs behind the property
+  suites; wired into ``repro check``.
 
 Quickstart::
 
@@ -55,7 +59,7 @@ from repro.telemetry import (
     TelemetryConfig,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "DvfsConfig",

@@ -28,6 +28,12 @@ Commands:
 * ``replay``   - stream a trace recorded with ``trace --jsonl FILE
   --observations`` through a live server and verify every returned
   decision is bit-identical to the offline simulation's.
+* ``check``    - differential validation pass: run a small workload x
+  design matrix, audit every artifact against the physical invariants
+  (energy conservation, monotone clocks, residency normalisation, ...)
+  and cross-check the engine / sweep-parallelism / oracle-fork
+  bit-exactness claims. Exits nonzero on any violation. ``--deep``
+  widens the matrix; ``--json FILE`` saves the machine-readable report.
 
 Sweep commands (``run``/``compare``/``figure``) accept ``--workers N``
 to fan cells across processes, and cache results on disk (disable with
@@ -567,6 +573,30 @@ def cmd_replay(args) -> int:
     return 0 if report.bit_identical else 1
 
 
+def cmd_check(args) -> int:
+    from repro.validation import deep_check_config, quick_check_config, run_check
+
+    cfg = deep_check_config() if args.deep else quick_check_config()
+    if args.workloads:
+        from dataclasses import replace as _replace
+
+        cfg = _replace(cfg, workloads=tuple(args.workloads.split(",")))
+    say = None if args.quiet else (lambda msg: print(f"  {msg}", flush=True))
+    if not args.quiet:
+        mode = "deep" if args.deep else "quick"
+        print(f"repro check ({mode}): {', '.join(cfg.workloads)} "
+              f"x {', '.join(cfg.designs)}", flush=True)
+    report = run_check(cfg, log=say)
+    print(report.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"\nvalidation report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -747,6 +777,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="attempt budget for connects and shed observations "
                          "(default %(default)s)")
     sp.set_defaults(fn=cmd_replay)
+
+    sp = sub.add_parser(
+        "check",
+        help="differential validation: audit invariants and cross-check "
+             "the engine/sweep/oracle bit-exactness claims",
+    )
+    group = sp.add_mutually_exclusive_group()
+    group.add_argument("--quick", action="store_true",
+                       help="two workloads at CI-smoke scale (default)")
+    group.add_argument("--deep", action="store_true",
+                       help="the five quickstart workloads at figure scale")
+    sp.add_argument("--workloads", default=None,
+                    help="comma-separated workload override")
+    sp.add_argument("--json", metavar="FILE",
+                    help="write the machine-readable report to FILE")
+    sp.add_argument("--quiet", action="store_true",
+                    help="suppress per-cell progress lines")
+    sp.set_defaults(fn=cmd_check)
     return p
 
 

@@ -9,6 +9,7 @@ per-frequency residency (Figure 16).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -20,6 +21,15 @@ from repro.gpu.gpu import EpochResult
 from repro.power.model import PowerModel
 
 
+#: Frequency matching tolerances for snapping a chosen frequency onto
+#: the V/f grid (mirrors :attr:`~repro.dvfs.oracle.OracleSample`'s
+#: ``commits_at`` tolerances): the grid is 100 MHz-spaced, so 1 kHz
+#: absolute slack absorbs float noise from unit conversion or grid
+#: regeneration without ever bridging two distinct grid points.
+FREQ_ABS_TOL_GHZ = 1e-6
+FREQ_REL_TOL = 1e-9
+
+
 @dataclass
 class ControllerLog:
     """What the controller believed and chose, per epoch."""
@@ -28,16 +38,41 @@ class ControllerLog:
     predictions: List[List[Optional[LinearSensitivity]]] = field(default_factory=list)
 
     def frequency_residency(self, freq_grid: Sequence[float]) -> Dict[float, float]:
-        """Fraction of (domain, epoch) decisions spent at each frequency."""
-        counts = {f: 0 for f in freq_grid}
+        """Fraction of (domain, epoch) decisions spent at each frequency.
+
+        Chosen frequencies are snapped to the nearest grid frequency
+        within :data:`FREQ_ABS_TOL_GHZ` before counting, so a chosen
+        value that picked up float noise (e.g. round-tripped through a
+        wire format) still lands in its grid bucket instead of being
+        counted in the total but dropped from the returned dict - that
+        exact-``==`` hashing bug made Fig. 16 residency fractions
+        silently sum to < 1. A frequency that matches *no* grid point
+        is a logic error upstream and raises.
+        """
+        grid = list(freq_grid)
+        counts = {f: 0 for f in grid}
         total = 0
         for epoch in self.chosen_freqs:
             for f in epoch:
-                counts[f] = counts.get(f, 0) + 1
+                if f in counts:  # exact hit: the common, noise-free path
+                    counts[f] += 1
+                else:
+                    counts[_snap_to_grid(f, grid)] += 1
                 total += 1
         if not total:
-            return {f: 0.0 for f in freq_grid}
-        return {f: counts.get(f, 0) / total for f in freq_grid}
+            return {f: 0.0 for f in grid}
+        return {f: counts[f] / total for f in grid}
+
+
+def _snap_to_grid(f: float, grid: Sequence[float]) -> float:
+    """The grid frequency ``f`` really is, or raise if truly off-grid."""
+    for g in grid:
+        if math.isclose(f, g, rel_tol=FREQ_REL_TOL, abs_tol=FREQ_ABS_TOL_GHZ):
+            return g
+    raise ValueError(
+        f"chosen frequency {f!r} GHz matches no grid frequency "
+        f"(grid: {list(grid)!r}); the objective must pick from the grid"
+    )
 
 
 class DvfsController:

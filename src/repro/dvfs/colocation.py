@@ -54,7 +54,7 @@ class ColocationResult:
 
     @property
     def ed2p(self) -> float:
-        return self.energy.total * self.delay_ns**2
+        return self.energy.ed2p(self.delay_ns)
 
 
 class ColocationSimulation:

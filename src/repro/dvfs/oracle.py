@@ -147,6 +147,17 @@ class OracleSampler:
         n = len(grid)
         return [grid[(sample_idx + self.shuffle_stride * d) % n] for d in range(n_domains)]
 
+    def sample_plan(self, n_domains: int) -> List[List[float]]:
+        """Per-sample frequency vectors (one row per pre-execution).
+
+        The shuffled schedule :meth:`sample` pre-executes, exposed so
+        external checkers (``repro check``'s oracle-fork differential)
+        can replay the exact same plan through an independent fork path.
+        """
+        return [
+            self._sample_freqs(s, n_domains) for s in range(len(self.sample_grid))
+        ]
+
     # ------------------------------------------------------------------
     # Parallel pre-execution plumbing
 

@@ -67,14 +67,17 @@ class RunResult:
 
     @property
     def edp(self) -> float:
-        return self.energy.total * self.delay_ns
+        """``E * D`` with ``D`` the completion delay (one definition,
+        shared with :meth:`EnergyBreakdown.edp` via the explicit-delay
+        form)."""
+        return self.energy.edp(self.delay_ns)
 
     @property
     def ed2p(self) -> float:
-        return self.energy.total * self.delay_ns**2
+        return self.energy.ed2p(self.delay_ns)
 
     def ednp(self, n: int) -> float:
-        return self.energy.total * self.delay_ns**n
+        return self.energy.ednp(n, self.delay_ns)
 
 
 class DvfsSimulation:
@@ -188,9 +191,16 @@ class DvfsSimulation:
                     if line is None:
                         continue
                     actual = actual_per_domain[d]
-                    if actual <= 0:
-                        continue
                     predicted = line.predict(freqs[d])
+                    if actual <= 0:
+                        # A fully-stalled epoch. A predictor claiming
+                        # commits here is maximally wrong and scores 0;
+                        # only a matching zero prediction is unscorable
+                        # (skipping *all* zero-commit epochs inflated
+                        # prediction_accuracy).
+                        if predicted > 0.0:
+                            accuracies.append(0.0)
+                        continue
                     accuracies.append(max(0.0, 1.0 - abs(predicted - actual) / actual))
 
                 truth = sample.lines if (sample and predictor.needs_elapsed_truth) else None

@@ -349,6 +349,11 @@ class EpochTraceRecorder:
                 "epochs": run_result.epochs,
                 "delay_ns": run_result.delay_ns,
                 "energy_total": run_result.energy.total,
+                # Conservation targets for the validation auditors: the
+                # epoch records' committed counts and energies must sum
+                # to these (see repro.validation.invariants).
+                "elapsed_ns": run_result.energy.elapsed_ns,
+                "total_committed": run_result.total_committed,
                 "prediction_accuracy": run_result.prediction_accuracy,
                 "pc_hit_ratio": run_result.pc_hit_ratio,
                 "completed": run_result.completed,

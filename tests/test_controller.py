@@ -91,3 +91,24 @@ class TestResidency:
         ctrl.decide()
         res = ctrl.log.frequency_residency(cfg.dvfs.frequencies_ghz)
         assert res[2.2] == pytest.approx(1.0)
+
+    def test_residency_snaps_float_noise_onto_grid(self, cfg):
+        # Regression: decisions that round-tripped through float
+        # arithmetic (e.g. 0.1 * 17 != 1.7) used to miss the exact-==
+        # bucket lookup and silently vanish from the residency, leaving
+        # the fractions summing below 1.0.
+        log = ControllerLog()
+        log.chosen_freqs.append([0.1 * 17, 1.3 + 1e-8])
+        log.predictions.append([None, None])
+        grid = cfg.dvfs.frequencies_ghz
+        res = log.frequency_residency(grid)
+        assert sum(res.values()) == pytest.approx(1.0)
+        assert res[1.7] == pytest.approx(0.5)
+        assert res[1.3] == pytest.approx(0.5)
+        assert set(res) == set(grid)  # keys are the grid floats themselves
+
+    def test_residency_rejects_off_grid_frequency(self, cfg):
+        log = ControllerLog()
+        log.chosen_freqs.append([1.75, 1.7])
+        with pytest.raises(ValueError, match="1.75"):
+            log.frequency_residency(cfg.dvfs.frequencies_ghz)
