@@ -29,10 +29,25 @@ _MATRIX_CACHE = {}
 
 
 def get_design_matrix(setup: ExperimentSetup, designs):
-    """Design-matrix runs shared by the fig 14/15/16 benchmarks."""
-    from repro.analysis.experiments import design_matrix
+    """Design-matrix runs shared by the fig 14/15/16 benchmarks.
 
-    key = (tuple(setup.workload_list()), setup.scale, tuple(designs))
+    The cache key covers everything that feeds the simulation - notably
+    the full platform config and epoch/oracle settings, not just the
+    workload list and scale, so two setups differing only in (say)
+    ``max_epochs`` or DVFS grid can never alias to the same entry.
+    """
+    from repro.analysis.experiments import design_matrix
+    from repro.runtime.cache import config_hash
+
+    key = config_hash({
+        "config": setup.config,
+        "workloads": tuple(setup.workload_list()),
+        "scale": setup.scale,
+        "max_epochs": setup.max_epochs,
+        "oracle_sample_freqs": setup.oracle_sample_freqs,
+        "retry": setup.retry,
+        "designs": tuple(designs),
+    })
     if key not in _MATRIX_CACHE:
         _MATRIX_CACHE[key] = design_matrix(setup, designs=designs)
     return _MATRIX_CACHE[key]

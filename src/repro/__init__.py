@@ -26,6 +26,9 @@ Public API tour:
   auditors over run artifacts, cross-checkers for the repo's
   bit-exactness claims, and the executable specs behind the property
   suites; wired into ``repro check``.
+* :mod:`repro.bench` - the performance-regression benchmark suite:
+  ``repro bench`` times the hot paths, emits versioned ``BENCH_*.json``
+  reports, and gates them against committed baselines in CI.
 
 Quickstart::
 
@@ -59,7 +62,7 @@ from repro.telemetry import (
     TelemetryConfig,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "DvfsConfig",

@@ -83,7 +83,9 @@ def _pre_execute_sample(child: Gpu, freqs: List[float], epoch_ns: float) -> List
     so the frequency switch is free here.
     """
     child.set_domain_frequencies(freqs, transition_latency_ns=0.0)
-    result = child.run_epoch(epoch_ns)
+    # Only the domain commit totals are consumed, so skip the per-wave
+    # record allocation in every forked pre-execution.
+    result = child.run_epoch(epoch_ns, collect_waves=False)
     return child.committed_per_domain(result)
 
 

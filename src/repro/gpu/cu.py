@@ -39,23 +39,44 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import GpuConfig
-from repro.gpu.isa import InstructionKind, Program
+from repro.gpu.isa import CompiledProgram, InstructionKind, Program
 from repro.gpu.memory import MemorySubsystem
 from repro.gpu.wavefront import Wavefront
 
 #: A pending workgroup: tuple of (workgroup_id, wave_in_group, program).
-PendingWave = Tuple[int, int, Program]
+#: The program may be a raw :class:`Program` or its compiled decode table;
+#: dispatch normalises either into a :class:`CompiledProgram`-backed wave.
+PendingWave = Tuple[int, int, "Program | CompiledProgram"]
 
+# Interned enum members for the legacy (reference-engine) decode path:
+# module-global loads beat repeated EnumMeta attribute lookups.
 _VALU = InstructionKind.VALU
 _SALU = InstructionKind.SALU
+_LOAD = InstructionKind.LOAD
+_STORE = InstructionKind.STORE
+_WAITCNT = InstructionKind.WAITCNT
 _BRANCH = InstructionKind.BRANCH
 _BARRIER = InstructionKind.BARRIER
 _ENDPGM = InstructionKind.ENDPGM
 
+# Plain-int twins for the compiled decode path: ``CompiledProgram.kinds``
+# stores ints, so dispatch is an int compare with no enum machinery.
+_K_VALU = int(_VALU)
+_K_SALU = int(_SALU)
+_K_LOAD = int(_LOAD)
+_K_STORE = int(_STORE)
+_K_WAITCNT = int(_WAITCNT)
+_K_BRANCH = int(_BRANCH)
+_K_BARRIER = int(_BARRIER)
+_K_ENDPGM = int(_ENDPGM)
 
-@dataclass
+
+@dataclass(slots=True)
 class CuEpochStats:
-    """CU-level per-epoch aggregates (inputs to CU-level models & power)."""
+    """CU-level per-epoch aggregates (inputs to CU-level models & power).
+
+    Slotted: every committed instruction bumps these counters.
+    """
 
     committed: int = 0
     committed_compute: int = 0
@@ -81,9 +102,17 @@ class CuEpochStats:
         self.stores = 0
 
     def clone(self) -> "CuEpochStats":
-        out = CuEpochStats()
-        out.__dict__.update(self.__dict__)
-        return out
+        # Positional, in field order (slotted dataclasses have no __dict__).
+        return CuEpochStats(
+            self.committed,
+            self.committed_compute,
+            self.committed_memory,
+            self.issued,
+            self.active_cycles,
+            self.core_busy_ns,
+            self.loads,
+            self.stores,
+        )
 
     def stall_breakdown(self, duration_ns: float) -> Dict[str, float]:
         """Split an epoch into core-busy vs stalled (memory/idle) time.
@@ -296,10 +325,9 @@ class ComputeUnit:
                 heapq.heappush(ready, (age, wf))
             if len(ready) == 1 and not wakeups:
                 wf = ready[0][1]
-                kind = wf.program[wf.pc_idx].kind
-                if kind is _VALU or kind is _SALU or kind is _BRANCH:
+                if wf.code.batchable[wf.pc_idx]:
                     heapq.heappop(ready)
-                    now = self._run_batch(wf, now, t_end, cycle, mem)
+                    now = self._run_batch(wf, now, t_end, cycle)
                     # Always re-file via the wakeup heap: ``now`` may have
                     # overshot ``t_end``, in which case the wave is *not*
                     # ready at the start of the next quantum. The refill
@@ -329,10 +357,11 @@ class ComputeUnit:
                         deferred = []
                     deferred.append((age, wf))
                     continue
-                kind = wf.program[wf.pc_idx].kind
-                self._issue(wf, now, cycle, mem)
+                code = wf.code
+                kind = code.kinds[wf.pc_idx]
+                self._issue_fast(wf, code, kind, now, cycle, mem)
                 issued += 1
-                if kind is _ENDPGM or kind is _BARRIER or wf.blocked:
+                if kind == _K_ENDPGM or kind == _K_BARRIER or wf.blocked:
                     continue  # retired / barrier or waitcnt handled above
                 heapq.heappush(wakeups, (wf.ready_at, wf.age, wf))
             self._in_scan = False
@@ -364,9 +393,7 @@ class ComputeUnit:
         self.now = t_end
         self._cycle_now = t_end
 
-    def _run_batch(
-        self, wf: Wavefront, now: float, t_end: float, cycle: float, mem: MemorySubsystem
-    ) -> float:
+    def _run_batch(self, wf: Wavefront, now: float, t_end: float, cycle: float) -> float:
         """Issue consecutive compute/branch instructions of the only
         runnable wavefront as one timing event stream.
 
@@ -376,42 +403,85 @@ class ComputeUnit:
         rescans are skipped. Stops at ``t_end``, at the next memory
         completion, on a multi-cycle gap that something else bounds, or
         at the first non-batchable instruction.
+
+        The loop works entirely on the compiled decode arrays and local
+        accumulators: ``busy``/``core_busy`` are seeded from the current
+        stat fields and flushed on exit, so they replay exactly the float
+        additions the per-instruction path performs on those fields, and
+        the integer commit/issue counters (one of each per batchable
+        instruction, for every batchable kind) collapse into ``batched``.
+        The completions heap cannot change inside a batch (no memory ops
+        issue, no completions deliver), so its head is hoisted too.
         """
-        completions = self.completions
         stats = self.stats
-        program = wf.program
+        wstats = wf.stats
+        code = wf.code
+        kinds = code.kinds
+        batchable = code.batchable
+        costs = code.costs_for(cycle)
+        trip_counts = code.trip_counts
+        branch_targets = code.branch_targets
+        counters = wf.loop_counters
+        completions = self.completions
+        next_comp = completions[0][0] if completions else float("inf")
+        pc = wf.pc_idx
+        ra = wf.ready_at
+        busy = wstats.busy_ns
+        core_busy = stats.core_busy_ns
         batched = 0
         while True:
-            kind = program[wf.pc_idx].kind
-            if kind is not _VALU and kind is not _SALU and kind is not _BRANCH:
+            if not batchable[pc]:
                 break
-            self._issue(wf, now, cycle, mem)
-            stats.issued += 1
-            stats.active_cycles += 1
-            stats.core_busy_ns += cycle
+            if kinds[pc] == _K_BRANCH:
+                remaining = counters.get(pc)
+                if remaining is None:
+                    remaining = trip_counts[pc]
+                if remaining > 0:
+                    counters[pc] = remaining - 1
+                    pc = branch_targets[pc]
+                else:
+                    # Loop exhausted: reset so a future re-entry iterates.
+                    counters.pop(pc, None)
+                    pc += 1
+                ra = now + cycle
+            else:  # VALU / SALU
+                cost = costs[pc]
+                ra = now + cost
+                busy += cost
+                pc += 1
+            core_busy += cycle
             now += cycle
             batched += 1
             if now >= t_end:
                 break
-            if completions and completions[0][0] <= now:
+            if next_comp <= now:
                 break
-            ra = wf.ready_at
             if ra > now:
                 # Multi-cycle instruction: jump the issue gap exactly as
                 # the reference loop's no-issue branch would.
                 nxt = t_end
-                if completions and completions[0][0] < nxt:
-                    nxt = completions[0][0]
+                if next_comp < nxt:
+                    nxt = next_comp
                 if ra < nxt:
                     nxt = ra
-                stats.core_busy_ns += nxt - now
+                core_busy += nxt - now
                 now = nxt
                 if now >= t_end:
                     break
-                if completions and completions[0][0] <= now:
+                if next_comp <= now:
                     break
                 if nxt != ra:  # pragma: no cover - both bounds checked above
                     break
+        wf.pc_idx = pc
+        wf.ready_at = ra
+        wstats.busy_ns = busy
+        wstats.committed += batched
+        wstats.committed_compute += batched
+        stats.committed += batched
+        stats.committed_compute += batched
+        stats.issued += batched
+        stats.active_cycles += batched
+        stats.core_busy_ns = core_busy
         self.ctr_cycles += batched - 1 if batched else 0
         self.ctr_batched += batched
         return now
@@ -480,10 +550,111 @@ class ComputeUnit:
                 wf.unblock_wait(completion, self.epoch_start)
                 self._wake(wf)
 
+    def _issue_fast(
+        self,
+        wf: Wavefront,
+        code: CompiledProgram,
+        kind: int,
+        now: float,
+        cycle: float,
+        mem: MemorySubsystem,
+    ) -> None:
+        """Issue one instruction from the compiled decode table.
+
+        Semantics (and float-operation order) are identical to
+        :meth:`_issue`; the only differences are mechanical: fields come
+        from the flat per-pc arrays instead of a materialised
+        :class:`Instruction`, dispatch compares plain ints, and the
+        per-frequency ``cycles * cycle`` product comes precomputed from
+        :meth:`CompiledProgram.costs_for` (the same multiply, hoisted).
+        The event engine calls this; the reference engine keeps the
+        dataclass-decode :meth:`_issue`, which is what makes the
+        engine-equivalence suite a continuous compiled-vs-dataclass
+        decode check.
+        """
+        pc = wf.pc_idx
+        wstats = wf.stats
+        stats = self.stats
+        if kind == _K_VALU or kind == _K_SALU:
+            cost = code.costs_for(cycle)[pc]
+            wf.ready_at = now + cost
+            wstats.busy_ns += cost
+            wstats.committed += 1
+            wstats.committed_compute += 1
+            stats.committed += 1
+            stats.committed_compute += 1
+            wf.pc_idx = pc + 1
+        elif kind == _K_LOAD or kind == _K_STORE:
+            is_store = kind == _K_STORE
+            l1_hit, l2_hit, visit = wf.draw_hits(
+                pc, code.l1_hit_rates[pc], code.l2_hit_rates[pc], code.pattern_jitters[pc]
+            )
+            if l1_hit:
+                completion = now + self.config.memory.l1_hit_cycles * cycle
+            else:
+                # Address-derived bank key: a pure function of which
+                # access this is, independent of global arrival order.
+                bank_key = pc * 131 + visit * 7 + wf.workgroup_id * 13 + wf.wave_in_group
+                completion = mem.request(now, l2_hit, bank_key).completion_ns
+            wf.note_mem_issue(now, completion, is_store)
+            self._completion_seq += 1
+            heapq.heappush(
+                self.completions, (completion, self._completion_seq, wf.wf_id, is_store)
+            )
+            cost = code.costs_for(cycle)[pc]
+            wf.ready_at = now + cost
+            wstats.busy_ns += cost
+            wstats.committed += 1
+            wstats.committed_memory += 1
+            stats.committed += 1
+            stats.committed_memory += 1
+            if is_store:
+                stats.stores += 1
+            else:
+                stats.loads += 1
+            wf.pc_idx = pc + 1
+        elif kind == _K_WAITCNT:
+            target = code.wait_targets[pc]
+            if wf.outstanding <= target:
+                wf.ready_at = now + cycle
+                wf.pc_idx = pc + 1
+            else:
+                wf.block_wait(target, now)
+                self._runnable -= 1
+        elif kind == _K_BARRIER:
+            wg = wf.workgroup_id
+            wf.block_barrier(now)
+            self._runnable -= 1
+            arrived = self.barrier_arrived.get(wg, 0) + 1
+            self.barrier_arrived[wg] = arrived
+            if arrived >= self.wg_alive.get(wg, 0):
+                self._release_barrier(wg, now + cycle)
+        elif kind == _K_BRANCH:
+            counters = wf.loop_counters
+            remaining = counters.get(pc)
+            if remaining is None:
+                remaining = code.trip_counts[pc]
+            if remaining > 0:
+                counters[pc] = remaining - 1
+                wf.pc_idx = code.branch_targets[pc]
+            else:
+                # Loop exhausted: reset so a future re-entry iterates.
+                counters.pop(pc, None)
+                wf.pc_idx = pc + 1
+            wf.ready_at = now + cycle
+            wstats.committed += 1
+            wstats.committed_compute += 1
+            stats.committed += 1
+            stats.committed_compute += 1
+        elif kind == _K_ENDPGM:
+            self._retire_wave(wf, now)
+        else:  # pragma: no cover - enum is closed
+            raise RuntimeError(f"unhandled instruction kind {kind}")
+
     def _issue(self, wf: Wavefront, now: float, cycle: float, mem: MemorySubsystem) -> None:
         instr = wf.current_instruction()
         kind = instr.kind
-        if kind is InstructionKind.VALU or kind is InstructionKind.SALU:
+        if kind is _VALU or kind is _SALU:
             cost = instr.cycles * cycle
             wf.ready_at = now + cost
             wf.stats.busy_ns += cost
@@ -492,8 +663,8 @@ class ComputeUnit:
             self.stats.committed += 1
             self.stats.committed_compute += 1
             wf.advance_pc()
-        elif kind is InstructionKind.LOAD or kind is InstructionKind.STORE:
-            is_store = kind is InstructionKind.STORE
+        elif kind is _LOAD or kind is _STORE:
+            is_store = kind is _STORE
             l1_hit, l2_hit, visit = wf.draw_hits(
                 wf.pc_idx, instr.l1_hit_rate, instr.l2_hit_rate, instr.pattern_jitter
             )
@@ -521,14 +692,14 @@ class ComputeUnit:
             else:
                 self.stats.loads += 1
             wf.advance_pc()
-        elif kind is InstructionKind.WAITCNT:
+        elif kind is _WAITCNT:
             if wf.outstanding <= instr.wait_target:
                 wf.ready_at = now + cycle
                 wf.advance_pc()
             else:
                 wf.block_wait(instr.wait_target, now)
                 self._runnable -= 1
-        elif kind is InstructionKind.BARRIER:
+        elif kind is _BARRIER:
             wg = wf.workgroup_id
             wf.block_barrier(now)
             self._runnable -= 1
@@ -536,14 +707,14 @@ class ComputeUnit:
             self.barrier_arrived[wg] = arrived
             if arrived >= self.wg_alive.get(wg, 0):
                 self._release_barrier(wg, now + cycle)
-        elif kind is InstructionKind.BRANCH:
+        elif kind is _BRANCH:
             wf.take_branch(wf.pc_idx, instr)
             wf.ready_at = now + cycle
             wf.stats.committed += 1
             wf.stats.committed_compute += 1
             self.stats.committed += 1
             self.stats.committed_compute += 1
-        elif kind is InstructionKind.ENDPGM:
+        elif kind is _ENDPGM:
             self._retire_wave(wf, now)
         else:  # pragma: no cover - enum is closed
             raise RuntimeError(f"unhandled instruction kind {kind}")
@@ -665,7 +836,7 @@ class ComputeUnit:
         pos: Dict[int, int] = {}
         for wc in wave_caps:
             wf = old_by_id.get(wc[0])
-            if wf is not None and wf.program is wc[3]:
+            if wf is not None and wf.code is wc[3]:
                 wf.restore_capture(wc)
             else:
                 wf = Wavefront.from_capture(wc)

@@ -119,8 +119,10 @@ class Gpu:
         base = self._next_wg_base
         for wg in range(kernel.geometry.n_workgroups):
             cu = self.cus[targets[wg % len(targets)]]
+            # Compile at load time: every wave of the kernel shares the
+            # program's cached decode table by reference.
             waves = [
-                (base + wg, w, kernel.program_for(wg, w))
+                (base + wg, w, kernel.program_for(wg, w).compiled)
                 for w in range(kernel.geometry.waves_per_workgroup)
             ]
             cu.enqueue_workgroup(waves)
@@ -176,8 +178,16 @@ class Gpu:
     # ------------------------------------------------------------------
     # Epoch stepping
 
-    def run_epoch(self, epoch_ns: float) -> EpochResult:
-        """Advance all CUs by one fixed-time epoch and collect stats."""
+    def run_epoch(self, epoch_ns: float, collect_waves: bool = True) -> EpochResult:
+        """Advance all CUs by one fixed-time epoch and collect stats.
+
+        ``collect_waves=False`` skips materialising the per-wavefront
+        :class:`WaveEpochRecord` tuples (one stats clone per resident
+        wave). Callers that only consume CU-level aggregates - the
+        oracle's forked pre-executions read nothing but
+        :meth:`committed_per_domain` - use this to keep the sampling
+        loop allocation-free; ``wave_records`` is then empty.
+        """
         t0 = self.time
         t1 = t0 + epoch_ns
         for cu in self.cus:
@@ -195,17 +205,18 @@ class Gpu:
         wave_records: List[Tuple[WaveEpochRecord, ...]] = []
         cu_stats: List[CuEpochStats] = []
         for cu in self.cus:
-            records = tuple(
-                WaveEpochRecord(
-                    wf_id=wf.wf_id,
-                    age_rank=rank,
-                    start_pc_idx=wf.stats.epoch_start_pc_idx,
-                    next_pc_idx=wf.pc_idx,
-                    stats=wf.stats.clone(),
+            if collect_waves:
+                records = tuple(
+                    WaveEpochRecord(
+                        wf_id=wf.wf_id,
+                        age_rank=rank,
+                        start_pc_idx=wf.stats.epoch_start_pc_idx,
+                        next_pc_idx=wf.pc_idx,
+                        stats=wf.stats.clone(),
+                    )
+                    for rank, wf in enumerate(cu.waves)
                 )
-                for rank, wf in enumerate(cu.waves)
-            )
-            wave_records.append(records)
+                wave_records.append(records)
             cu_stats.append(cu.stats.clone())
 
         transitions = self._pending_transitions

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 
 class InstructionKind(enum.IntEnum):
@@ -46,6 +46,15 @@ class InstructionKind(enum.IntEnum):
 COMPUTE_KINDS = (InstructionKind.VALU, InstructionKind.SALU)
 #: Kinds that create outstanding memory operations.
 MEMORY_KINDS = (InstructionKind.LOAD, InstructionKind.STORE)
+
+# Class-level membership tables: O(1) frozenset lookups instead of tuple
+# scans in `Instruction.is_compute`/`is_memory` (hot in the estimation
+# models). Attached after class creation - EnumMeta allows new non-member
+# attributes, it only protects the members themselves.
+InstructionKind.COMPUTE_SET = frozenset(COMPUTE_KINDS)  # type: ignore[attr-defined]
+InstructionKind.MEMORY_SET = frozenset(MEMORY_KINDS)  # type: ignore[attr-defined]
+_COMPUTE_SET = InstructionKind.COMPUTE_SET  # type: ignore[attr-defined]
+_MEMORY_SET = InstructionKind.MEMORY_SET  # type: ignore[attr-defined]
 
 
 @dataclass(frozen=True)
@@ -99,11 +108,11 @@ class Instruction:
 
     @property
     def is_compute(self) -> bool:
-        return self.kind in COMPUTE_KINDS
+        return self.kind in _COMPUTE_SET
 
     @property
     def is_memory(self) -> bool:
-        return self.kind in MEMORY_KINDS
+        return self.kind in _MEMORY_SET
 
 
 def valu(cycles: int = 4) -> Instruction:
@@ -204,9 +213,161 @@ class Program:
         """Byte address of the instruction at ``idx``."""
         return idx * instruction_bytes
 
+    @property
+    def compiled(self) -> "CompiledProgram":
+        """This program's flat decode table, built once and cached.
+
+        The cache lives in the instance ``__dict__`` (dict mutation
+        bypasses the frozen ``__setattr__``) and is excluded from pickles
+        by ``__getstate__``, so a program and its table never recurse
+        through the pickle memo.
+        """
+        out = self.__dict__.get("_compiled")
+        if out is None:
+            out = CompiledProgram(self)
+            self.__dict__["_compiled"] = out
+        return out
+
+    def __getstate__(self) -> Tuple[Tuple[Instruction, ...], str]:
+        return (self.instructions, self.name)
+
+    def __setstate__(self, state: Tuple[Tuple[Instruction, ...], str]) -> None:
+        object.__setattr__(self, "instructions", state[0])
+        object.__setattr__(self, "name", state[1])
+
     @staticmethod
     def from_list(instrs: Sequence[Instruction], name: str = "kernel") -> "Program":
         return Program(tuple(instrs), name=name)
+
+
+def compile_program(program: Program) -> "CompiledProgram":
+    """The program's cached decode table (also the pickle reconstructor)."""
+    return program.compiled
+
+
+class CompiledProgram:
+    """Immutable flat decode table of a :class:`Program`.
+
+    Built once per program at kernel-load time, then indexed by
+    ``pc_idx`` on every issue instead of materialising an
+    :class:`Instruction` per commit: parallel tuples of plain ints and
+    floats, so the hot issue paths dispatch on an int compare and chase
+    no dataclass attributes. ``batchable[pc]`` marks the kinds the
+    event engine's single-wave straight-line batcher may retire
+    (VALU/SALU/BRANCH).
+
+    :meth:`costs_for` precomputes ``cycles * cycle_ns`` per frequency:
+    each entry is produced by exactly the float multiply the dataclass
+    path evaluates (``instr.cycles * cycle``), so timing stays
+    bit-identical - the table only hoists the multiply out of the loop.
+
+    Tables are shared by reference across ``clone()``/``snapshot()``/
+    ``from_snapshot()`` (zero bytes per oracle fork) and compare equal
+    by their source program, so separately-built engines with equal
+    programs still agree on captured state.
+    """
+
+    __slots__ = (
+        "source",
+        "kinds",
+        "cycles",
+        "l1_hit_rates",
+        "l2_hit_rates",
+        "pattern_jitters",
+        "wait_targets",
+        "branch_targets",
+        "trip_counts",
+        "batchable",
+        "_cost_cache",
+    )
+
+    def __init__(self, source: Program) -> None:
+        instrs = source.instructions
+        self.source = source
+        self.kinds: Tuple[int, ...] = tuple(int(i.kind) for i in instrs)
+        self.cycles: Tuple[int, ...] = tuple(i.cycles for i in instrs)
+        self.l1_hit_rates: Tuple[float, ...] = tuple(i.l1_hit_rate for i in instrs)
+        self.l2_hit_rates: Tuple[float, ...] = tuple(i.l2_hit_rate for i in instrs)
+        self.pattern_jitters: Tuple[float, ...] = tuple(i.pattern_jitter for i in instrs)
+        self.wait_targets: Tuple[int, ...] = tuple(i.wait_target for i in instrs)
+        self.branch_targets: Tuple[int, ...] = tuple(i.branch_target for i in instrs)
+        self.trip_counts: Tuple[int, ...] = tuple(i.trip_count for i in instrs)
+        batch_kinds = (
+            int(InstructionKind.VALU),
+            int(InstructionKind.SALU),
+            int(InstructionKind.BRANCH),
+        )
+        self.batchable: Tuple[bool, ...] = tuple(k in batch_kinds for k in self.kinds)
+        #: Per-frequency cost tables, keyed by cycle period (ns). The DVFS
+        #: grid is small (10 states), so this saturates immediately.
+        self._cost_cache: Dict[float, Tuple[float, ...]] = {}
+
+    def costs_for(self, cycle: float) -> Tuple[float, ...]:
+        """Per-instruction ``cycles * cycle`` (ns) at one cycle period."""
+        costs = self._cost_cache.get(cycle)
+        if costs is None:
+            costs = self._cost_cache[cycle] = tuple(c * cycle for c in self.cycles)
+        return costs
+
+    @property
+    def name(self) -> str:
+        return self.source.name
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def decompile(self) -> Tuple[Instruction, ...]:
+        """Rebuild the instruction list purely from the flat arrays.
+
+        Exists for the round-trip property tests: equality with
+        ``source.instructions`` proves the table lost nothing.
+        """
+        return tuple(
+            Instruction(
+                kind=InstructionKind(k),
+                cycles=cy,
+                l1_hit_rate=l1,
+                l2_hit_rate=l2,
+                pattern_jitter=j,
+                wait_target=w,
+                branch_target=b,
+                trip_count=t,
+            )
+            for k, cy, l1, l2, j, w, b, t in zip(
+                self.kinds,
+                self.cycles,
+                self.l1_hit_rates,
+                self.l2_hit_rates,
+                self.pattern_jitters,
+                self.wait_targets,
+                self.branch_targets,
+                self.trip_counts,
+            )
+        )
+
+    def canonical_key(self):
+        """Cache-key identity: the table is a pure function of its source
+        program, so it canonicalises as that program (see
+        :func:`repro.runtime.cache.canonicalize`)."""
+        return self.source
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, CompiledProgram):
+            return NotImplemented
+        return self.source == other.source
+
+    def __hash__(self) -> int:
+        return hash(self.source)
+
+    def __reduce__(self):
+        # Rebuild through the source program's cache: unpickling a GPU
+        # restores one shared table per program, never a copy per wave.
+        return (compile_program, (self.source,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledProgram({self.source.name!r}, {len(self)} instrs)"
 
 
 class ProgramBuilder:
@@ -247,6 +408,8 @@ __all__ = [
     "InstructionKind",
     "Instruction",
     "Program",
+    "CompiledProgram",
+    "compile_program",
     "ProgramBuilder",
     "COMPUTE_KINDS",
     "MEMORY_KINDS",

@@ -20,19 +20,23 @@ the raw inputs of every estimation model evaluated in the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
 
-from repro.gpu.isa import Instruction, Program
+from repro.gpu.isa import CompiledProgram, Instruction, Program
 
 #: Golden-ratio fraction used by the deterministic low-discrepancy hit
 #: sequence (see `Wavefront.draw_hit`).
 _PHI = 0.6180339887498949
 
 
-@dataclass
+@dataclass(slots=True)
 class WavefrontStats:
-    """Per-epoch counters for one wavefront. Reset each epoch."""
+    """Per-epoch counters for one wavefront. Reset each epoch.
+
+    Slotted: the event engine touches these counters on every commit, and
+    slot access skips the per-instance ``__dict__`` lookup.
+    """
 
     committed: int = 0
     committed_compute: int = 0
@@ -62,9 +66,21 @@ class WavefrontStats:
         self.stores_issued = 0
 
     def clone(self) -> "WavefrontStats":
-        out = WavefrontStats()
-        out.__dict__.update(self.__dict__)
-        return out
+        # Positional, in field order (slotted dataclasses have no __dict__).
+        return WavefrontStats(
+            self.committed,
+            self.committed_compute,
+            self.committed_memory,
+            self.stall_ns,
+            self.store_stall_ns,
+            self.barrier_stall_ns,
+            self.leading_load_ns,
+            self.critical_mem_ns,
+            self.busy_ns,
+            self.epoch_start_pc_idx,
+            self.loads_issued,
+            self.stores_issued,
+        )
 
     def capture(self) -> tuple:
         """Flat, immutable value snapshot (see :meth:`Wavefront.capture`)."""
@@ -120,7 +136,7 @@ class Wavefront:
         "wf_id",
         "workgroup_id",
         "wave_in_group",
-        "program",
+        "code",
         "pc_idx",
         "loop_counters",
         "ready_at",
@@ -141,14 +157,17 @@ class Wavefront:
         wf_id: int,
         workgroup_id: int,
         wave_in_group: int,
-        program: Program,
+        program: Union[Program, CompiledProgram],
         age: int,
         start_time: float = 0.0,
     ) -> None:
         self.wf_id = wf_id
         self.workgroup_id = workgroup_id
         self.wave_in_group = wave_in_group
-        self.program = program
+        # The wave executes the compiled decode table; a raw Program is
+        # compiled on the spot (cached on the program, so waves of the
+        # same kernel share one table by reference).
+        self.code = program.compiled if isinstance(program, Program) else program
         self.pc_idx = 0
         self.loop_counters: Dict[int, int] = {}
         self.ready_at = start_time
@@ -175,8 +194,13 @@ class Wavefront:
         """True when the wavefront can issue its next instruction."""
         return not self.done and not self.blocked and self.ready_at <= now
 
+    @property
+    def program(self) -> Program:
+        """The source :class:`Program` this wave executes (compat shim)."""
+        return self.code.source
+
     def current_instruction(self) -> Instruction:
-        return self.program[self.pc_idx]
+        return self.code.source.instructions[self.pc_idx]
 
     def current_pc(self, instruction_bytes: int = 4) -> int:
         return self.pc_idx * instruction_bytes
@@ -327,7 +351,7 @@ class Wavefront:
         out.wf_id = self.wf_id
         out.workgroup_id = self.workgroup_id
         out.wave_in_group = self.wave_in_group
-        out.program = self.program  # immutable, shared
+        out.code = self.code  # immutable decode table, shared
         out.pc_idx = self.pc_idx
         out.loop_counters = dict(self.loop_counters)
         out.ready_at = self.ready_at
@@ -357,7 +381,7 @@ class Wavefront:
             self.wf_id,
             self.workgroup_id,
             self.wave_in_group,
-            self.program,  # immutable, shared
+            self.code,  # immutable decode table, shared
             self.age,
             self.pc_idx,
             tuple(self.loop_counters.items()),
@@ -406,7 +430,9 @@ class Wavefront:
     def from_capture(cls, cap: tuple) -> "Wavefront":
         """Materialise a fresh wavefront from a :meth:`capture` tuple."""
         out = cls.__new__(cls)
-        out.wf_id, out.workgroup_id, out.wave_in_group, out.program, out.age = cap[:5]
+        out.wf_id, out.workgroup_id, out.wave_in_group, code, out.age = cap[:5]
+        # Old captures carried the raw Program at index 3; normalise.
+        out.code = code.compiled if isinstance(code, Program) else code
         out.stats = WavefrontStats()
         out.restore_capture(cap)
         return out

@@ -72,6 +72,14 @@ def _canonical(obj: Any) -> Any:
         return [_canonical(v) for v in obj]
     if isinstance(obj, (str, int, float, bool)) or obj is None:
         return obj
+    # Derived/compiled objects declare their identity explicitly: e.g. a
+    # CompiledProgram is a pure function of its source Program, so it
+    # canonicalises as that program and cache keys are stable whether a
+    # caller holds the source or the compiled form. (Also the hook for
+    # slotted classes, which the vars() fallback below cannot handle.)
+    key_fn = getattr(obj, "canonical_key", None)
+    if key_fn is not None:
+        return _canonical(key_fn())
     # Objects (e.g. objectives) reduce to class name + public state.
     state = {
         k: _canonical(v)

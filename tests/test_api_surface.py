@@ -74,6 +74,9 @@ class TestTopLevel:
         "repro.runtime.faults",
         "repro.runtime.progress",
         "repro.runtime.profiling",
+        "repro.bench",
+        "repro.bench.baseline",
+        "repro.bench.micro",
     ],
 )
 def test_module_all_exports_resolve(module):
