@@ -24,7 +24,16 @@ Commands:
 * ``serve``    - run the online DVFS decision service: sessions stream
   per-epoch observations over a length-prefixed JSON protocol and get
   per-domain frequency decisions back; ``/healthz`` + ``/metrics`` on
-  a second port; SIGTERM/SIGINT drain gracefully.
+  a second port; SIGTERM/SIGINT drain gracefully. ``--trace-jsonl``
+  streams connect/session/request/decision spans; ``--drift`` watches
+  the shed rate online.
+* ``metrics``  - render a metrics snapshot as Prometheus text
+  exposition (format 0.0.4), from a saved JSON snapshot or scraped
+  live via ``--url HOST:PORT``; ``--check`` re-parses the output
+  through the exposition validator (the CI scrape gate).
+* ``monitor``  - one summary line per interval: tail a span/epoch
+  JSONL stream (``--follow``) or poll a live service's ``/metrics``
+  (``--url``) and print counter deltas.
 * ``replay``   - stream a trace recorded with ``trace --jsonl FILE
   --observations`` through a live server and verify every returned
   decision is bit-identical to the offline simulation's.
@@ -50,6 +59,10 @@ crash-safe checkpoint manifest alongside the cache; after an interrupted
 sweep, ``repro figure <name> --resume`` re-runs only the missing cells.
 ``--checkpoint FILE`` relocates the manifest (and enables it for
 ``run``/``compare``).
+
+Global flags (before the subcommand): ``--log-level debug|info|
+warning|error`` and ``--log-json`` configure the structured ``repro.*``
+logger hierarchy (stderr; JSON lines with ``--log-json``).
 """
 
 from __future__ import annotations
@@ -426,8 +439,30 @@ def cmd_trace(args) -> int:
     from repro.runtime.executor import run_task
     from repro.telemetry import save_perfetto_json
 
+    tracer = None
+    if args.spans:
+        from repro.obs import Tracer
+
+        tracer = Tracer(ring_size=0, jsonl_path=args.spans)
+    drift = None
     with _recorder_for(args) as rec:
-        result = run_task(_sweep_task(args, args.design), recorder=rec)
+        if args.drift:
+            from repro.obs import DriftConfig, DriftMonitor, get_logger
+
+            drift = DriftMonitor(
+                DriftConfig(),
+                registry=rec.registry,
+                tracer=tracer,
+                log=get_logger("drift"),
+            )
+            rec.drift = drift
+        try:
+            result = run_task(
+                _sweep_task(args, args.design), recorder=rec, tracer=tracer
+            )
+        finally:
+            if tracer is not None:
+                tracer.close()
 
     first = max(0, rec.epochs - args.epochs)
     rows = []
@@ -464,8 +499,20 @@ def cmd_trace(args) -> int:
     )
     if args.jsonl:
         print(f"epoch records streamed to {args.jsonl}")
+    if args.spans:
+        print(f"{tracer.total_spans} spans streamed to {args.spans}")
+    if drift is not None:
+        if drift.alerts:
+            print(f"drift: {drift.alert_count} alert(s)")
+            for alert in drift.alerts:
+                print(f"  {alert.render()}")
+        else:
+            print("drift: no alerts")
     if args.perfetto:
-        n = save_perfetto_json(rec.records, args.perfetto)
+        records = list(rec.records)
+        if tracer is not None:
+            records.extend(tracer.records)
+        n = save_perfetto_json(records, args.perfetto)
         print(f"Perfetto trace ({n} events) written to {args.perfetto} "
               f"(load at https://ui.perfetto.dev)")
     return 0
@@ -523,16 +570,38 @@ def cmd_serve(args) -> int:
     import signal
 
     from repro.service.server import DecisionService, ServiceConfig
+    from repro.telemetry.metrics import MetricsRegistry
 
-    service = DecisionService(ServiceConfig(
-        host=args.host,
-        port=args.port,
-        health_port=None if args.health_port < 0 else args.health_port,
-        max_sessions=args.max_sessions,
-        max_inflight=args.max_inflight,
-        batch_max=args.batch_max,
-        drain_timeout_s=args.drain_timeout,
-    ))
+    registry = MetricsRegistry()
+    tracer = None
+    if args.trace_jsonl:
+        from repro.obs import Tracer
+
+        tracer = Tracer(jsonl_path=args.trace_jsonl, registry=registry)
+    drift = None
+    if args.drift:
+        from repro.obs import DriftConfig, DriftMonitor, get_logger
+
+        drift = DriftMonitor(
+            DriftConfig(),
+            registry=registry,
+            tracer=tracer,
+            log=get_logger("drift"),
+        )
+    service = DecisionService(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            health_port=None if args.health_port < 0 else args.health_port,
+            max_sessions=args.max_sessions,
+            max_inflight=args.max_inflight,
+            batch_max=args.batch_max,
+            drain_timeout_s=args.drain_timeout,
+        ),
+        registry=registry,
+        tracer=tracer,
+        drift=drift,
+    )
 
     async def _serve() -> None:
         await service.start()
@@ -547,7 +616,11 @@ def cmd_serve(args) -> int:
             )
         await service.wait_closed()
 
-    asyncio.run(_serve())
+    try:
+        asyncio.run(_serve())
+    finally:
+        if tracer is not None:
+            tracer.close()
     counters = service.registry.counter_values("service_")
     print(
         f"drained: {counters.get('service_sessions_opened', 0):.0f} session(s), "
@@ -555,6 +628,11 @@ def cmd_serve(args) -> int:
         f"{counters.get('service_shed', 0):.0f} shed",
         flush=True,
     )
+    if tracer is not None:
+        print(f"{tracer.total_spans} spans streamed to {args.trace_jsonl}",
+              flush=True)
+    if drift is not None:
+        print(f"drift: {drift.alert_count} alert(s)", flush=True)
     return 0
 
 
@@ -577,6 +655,134 @@ def cmd_replay(args) -> int:
     )
     print(report.render())
     return 0 if report.bit_identical else 1
+
+
+def _host_port(spec: str) -> tuple:
+    """Parse ``HOST:PORT`` (an optional ``http://`` prefix is shed)."""
+    spec = spec.split("//", 1)[-1].rstrip("/")
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--url must be HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
+def cmd_metrics(args) -> int:
+    from repro.obs import ExpositionError, parse_exposition, render_prometheus
+
+    if bool(args.snapshot) == bool(args.url):
+        raise SystemExit("repro metrics: pass exactly one of FILE or --url")
+
+    if args.url:
+        import http.client
+
+        host, port = _host_port(args.url)
+        conn = http.client.HTTPConnection(host, port, timeout=args.timeout)
+        try:
+            conn.request("GET", "/metrics?format=prometheus")
+            response = conn.getresponse()
+            text = response.read().decode("utf-8")
+            if response.status != 200:
+                raise SystemExit(
+                    f"repro metrics: {args.url} answered {response.status}"
+                )
+        except OSError as exc:
+            raise SystemExit(f"repro metrics: cannot scrape {args.url}: {exc}")
+        finally:
+            conn.close()
+    else:
+        import json
+
+        try:
+            with open(args.snapshot, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"repro metrics: cannot load {args.snapshot}: {exc}")
+        # Accept a bare registry snapshot, a /metrics JSON body, or a
+        # sweep-instrumentation dump (whose registry lives under "metrics").
+        snapshot = payload if "counters" in payload \
+            else payload.get("metrics", payload)
+        labels = None
+        meta = payload.get("meta")
+        if isinstance(meta, dict) and "config_hash" in meta:
+            labels = {
+                "repro_version": str(meta.get("repro_version", "")),
+                "config_hash": str(meta["config_hash"])[:12],
+            }
+        text = render_prometheus(snapshot, labels=labels)
+
+    if args.check:
+        try:
+            samples = parse_exposition(text)
+        except ExpositionError as exc:
+            print(f"exposition INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"exposition OK ({len(samples)} samples)", file=sys.stderr)
+    print(text, end="")
+    return 0
+
+
+def _monitor_file(args) -> int:
+    import time
+
+    from repro.obs import IntervalSummary, iter_jsonl, summarize_records
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        if not args.follow:
+            summary = summarize_records(
+                r for r in iter_jsonl(fh) if r is not None
+            )
+            print(summary.render())
+            return 0
+        summary = IntervalSummary()
+        intervals = 0
+        next_flush = time.monotonic() + args.interval
+        for record in iter_jsonl(
+            fh,
+            follow=True,
+            poll_s=min(0.2, args.interval),
+            idle_limit_s=args.idle_limit,
+        ):
+            if record is not None:
+                summary.add(record)
+            if time.monotonic() < next_flush:
+                continue
+            print(summary.render(time.strftime("%H:%M:%S")), flush=True)
+            summary = IntervalSummary()
+            intervals += 1
+            next_flush = time.monotonic() + args.interval
+            if args.max_intervals is not None and intervals >= args.max_intervals:
+                return 0
+        if summary.records:  # idle limit hit: flush the remainder
+            print(summary.render(time.strftime("%H:%M:%S")), flush=True)
+    return 0
+
+
+def _monitor_url(args) -> int:
+    import time
+
+    from repro.obs import diff_metrics, fetch_metrics
+
+    host, port = _host_port(args.url)
+    prev = None
+    intervals = 0
+    while True:
+        try:
+            cur = fetch_metrics(host, port)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro monitor: cannot scrape {args.url}: {exc}")
+        print(f"[{time.strftime('%H:%M:%S')}] {diff_metrics(prev, cur)}",
+              flush=True)
+        prev = cur
+        intervals += 1
+        if args.max_intervals is not None and intervals >= args.max_intervals:
+            return 0
+        time.sleep(args.interval)
+
+
+def cmd_monitor(args) -> int:
+    if bool(args.file) == bool(args.url):
+        raise SystemExit("repro monitor: pass exactly one of FILE or --url")
+    return _monitor_url(args) if args.url else _monitor_file(args)
 
 
 def cmd_check(args) -> int:
@@ -646,6 +852,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     p.add_argument("--version", action="version",
                    version=f"%(prog)s {__version__}")
+    p.add_argument("--log-level", choices=("debug", "info", "warning", "error"),
+                   default="warning",
+                   help="stderr log verbosity for the repro.* loggers "
+                        "(default %(default)s)")
+    p.add_argument("--log-json", action="store_true",
+                   help="emit log lines as JSON objects instead of text")
     sub = p.add_subparsers(dest="command", required=True)
 
     def common(sp, workload_arg=True):
@@ -756,6 +968,13 @@ def build_parser() -> argparse.ArgumentParser:
                          "full predictor input) into the --jsonl file, "
                          "making the trace replayable against a live "
                          "server (repro replay)")
+    sp.add_argument("--spans", metavar="FILE",
+                    help="attach the span tracer and stream run/epoch/"
+                         "oracle_sample spans to this JSONL file; with "
+                         "--perfetto, spans render on the same timeline")
+    sp.add_argument("--drift", action="store_true",
+                    help="attach the online drift monitor to the recorder "
+                         "and report rel_error alerts after the run")
     sp.set_defaults(fn=cmd_trace)
 
     sp = sub.add_parser(
@@ -802,6 +1021,14 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--drain-timeout", type=float, default=10.0,
                     help="seconds shutdown waits for in-flight work "
                          "(default %(default)s)")
+    sp.add_argument("--trace-jsonl", metavar="FILE",
+                    help="stream connect/session/request/decision spans "
+                         "to this JSONL file (strictly observational: "
+                         "decisions stay bit-identical)")
+    sp.add_argument("--drift", action="store_true",
+                    help="watch the shed rate with the online drift "
+                         "monitor (alerts land in the log, the span "
+                         "stream and /metrics)")
     sp.set_defaults(fn=cmd_serve)
 
     sp = sub.add_parser(
@@ -820,6 +1047,48 @@ def build_parser() -> argparse.ArgumentParser:
                     help="attempt budget for connects and shed observations "
                          "(default %(default)s)")
     sp.set_defaults(fn=cmd_replay)
+
+    sp = sub.add_parser(
+        "metrics",
+        help="render a metrics snapshot as Prometheus text exposition "
+             "(from a JSON file or a live /metrics endpoint)",
+    )
+    sp.add_argument("snapshot", nargs="?", default=None,
+                    help="JSON metrics snapshot (a registry to_dict() dump, "
+                         "a /metrics body, or a sweep instrumentation dump)")
+    sp.add_argument("--url", metavar="HOST:PORT", default=None,
+                    help="scrape a live service's "
+                         "/metrics?format=prometheus instead of a file")
+    sp.add_argument("--timeout", type=float, default=5.0,
+                    help="HTTP timeout in seconds (default %(default)s)")
+    sp.add_argument("--check", action="store_true",
+                    help="validate the output through the exposition "
+                         "parser; exit 1 on a format violation")
+    sp.set_defaults(fn=cmd_metrics)
+
+    sp = sub.add_parser(
+        "monitor",
+        help="one summary line per interval: tail a trace JSONL or poll "
+             "a live /metrics endpoint",
+    )
+    sp.add_argument("file", nargs="?", default=None,
+                    help="JSONL record stream to summarise (epoch trace, "
+                         "span stream, or a combined file)")
+    sp.add_argument("--url", metavar="HOST:PORT", default=None,
+                    help="poll this service's /metrics and print counter "
+                         "deltas instead of tailing a file")
+    sp.add_argument("--follow", action="store_true",
+                    help="file mode: keep tailing for new records "
+                         "(default: summarise the whole file once)")
+    sp.add_argument("--interval", type=float, default=2.0,
+                    help="seconds per summary line (default %(default)s)")
+    sp.add_argument("--max-intervals", type=int, default=None,
+                    help="stop after this many summary lines "
+                         "(default: run until interrupted)")
+    sp.add_argument("--idle-limit", type=float, default=None,
+                    help="file mode with --follow: give up after this "
+                         "many seconds without new records")
+    sp.set_defaults(fn=cmd_monitor)
 
     sp = sub.add_parser(
         "check",
@@ -869,6 +1138,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    from repro.obs import configure_logging
+
+    configure_logging(args.log_level, json_mode=args.log_json)
     return args.fn(args)
 
 

@@ -34,7 +34,8 @@ from repro.power.energy import EnergyAccountant, EnergyBreakdown
 from repro.power.model import PowerModel
 from repro.runtime.profiling import collect_hotpath
 
-if TYPE_CHECKING:  # telemetry never imports dvfs; the arrow points here
+if TYPE_CHECKING:  # telemetry/obs never import dvfs; the arrow points here
+    from repro.obs import Tracer
     from repro.telemetry import EpochTraceRecorder
 
 
@@ -96,6 +97,7 @@ class DvfsSimulation:
         oracle_workers: int = 1,
         power_manager: Optional["HierarchicalPowerManager"] = None,
         telemetry: Optional["EpochTraceRecorder"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         if not kernels:
             raise ValueError("need at least one kernel")
@@ -126,6 +128,9 @@ class DvfsSimulation:
         #: telemetry objects - results are bit-identical to a run
         #: without the telemetry subsystem.
         self.telemetry = telemetry
+        #: Optional span tracer (same zero-overhead discipline): spans
+        #: only observe wall time, they never feed back into the run.
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
 
@@ -147,6 +152,12 @@ class DvfsSimulation:
         total_transitions = 0
         epochs = 0
         tel = self.telemetry
+        tr = self.tracer
+        run_span = None
+        if tr is not None:
+            run_span = tr.start(
+                "run", workload=self.workload_name, design=self.design_name
+            )
         if tel is not None:
             tel.begin_run(
                 workload=self.workload_name,
@@ -162,13 +173,23 @@ class DvfsSimulation:
                         break
                     gpu.load_kernel(pending.pop(0))
 
+                epoch_span = None
+                if tr is not None:
+                    epoch_span = tr.start("epoch", parent=run_span, epoch=epochs)
                 if tel is not None:
                     t_wall0 = time.perf_counter()
                     prev_freqs = self.controller.current_frequencies
 
                 sample: Optional[OracleSample] = None
                 if self._oracle is not None:
+                    oracle_span = (
+                        tr.start("oracle_sample", parent=epoch_span)
+                        if tr is not None
+                        else None
+                    )
                     sample = self._oracle.sample(gpu, epoch_ns)
+                    if oracle_span is not None:
+                        tr.finish(oracle_span, domains=len(sample.lines))
                     if predictor.needs_future_truth:
                         predictor.set_future_truth(sample.lines)  # type: ignore[attr-defined]
 
@@ -233,11 +254,19 @@ class DvfsSimulation:
                         pc_cumulative=pc_cumulative,
                         wall_s=time.perf_counter() - t_wall0,
                     )
+                if epoch_span is not None:
+                    tr.finish(
+                        epoch_span,
+                        committed=result.total_committed(),
+                        transitions=changed,
+                    )
         finally:
             # A raising kernel/predictor must not leak the oracle's
             # worker pool (its processes outlive the exception).
             if self._oracle is not None:
                 self._oracle.close()
+            if run_span is not None:
+                tr.finish(run_span, epochs=epochs)
 
         hotpath = collect_hotpath(gpu, self._oracle)
 

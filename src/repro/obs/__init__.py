@@ -1,0 +1,74 @@
+"""Observability: span tracing, drift monitoring, Prometheus, logging.
+
+The offline sweep and the online decision service share one
+observability stack:
+
+* :mod:`repro.obs.trace` - hierarchical span tracer with cross-process
+  propagation (sweep -> cell -> run -> epoch; session -> request ->
+  decision), zero-overhead when disabled;
+* :mod:`repro.obs.drift` - rolling-window drift monitor over prediction
+  error, shed rate, and retry rate, alerting into spans/metrics/logs;
+* :mod:`repro.obs.prom` - Prometheus text exposition (v0.0.4) for the
+  :class:`~repro.telemetry.metrics.MetricsRegistry`, plus the parser CI
+  uses as a scrape gate;
+* :mod:`repro.obs.log` - structured logging (``--log-level`` /
+  ``--log-json``);
+* :mod:`repro.obs.monitor` - the ``repro monitor`` live summary engine.
+"""
+
+from repro.obs.drift import (
+    SIGNAL_REL_ERROR,
+    SIGNAL_RETRY_RATE,
+    SIGNAL_SHED_RATE,
+    DriftAlert,
+    DriftConfig,
+    DriftMonitor,
+)
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.monitor import (
+    IntervalSummary,
+    diff_metrics,
+    fetch_metrics,
+    iter_jsonl,
+    summarize_records,
+)
+from repro.obs.prom import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    ExpositionError,
+    parse_exposition,
+    render_prometheus,
+    sanitise_name,
+)
+from repro.obs.trace import (
+    SPAN_RECORD_TYPE,
+    Span,
+    SpanContext,
+    Tracer,
+    span_records,
+)
+
+__all__ = [
+    "DriftAlert",
+    "DriftConfig",
+    "DriftMonitor",
+    "ExpositionError",
+    "IntervalSummary",
+    "PROMETHEUS_CONTENT_TYPE",
+    "SIGNAL_REL_ERROR",
+    "SIGNAL_RETRY_RATE",
+    "SIGNAL_SHED_RATE",
+    "SPAN_RECORD_TYPE",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "configure_logging",
+    "diff_metrics",
+    "fetch_metrics",
+    "get_logger",
+    "iter_jsonl",
+    "parse_exposition",
+    "render_prometheus",
+    "sanitise_name",
+    "span_records",
+    "summarize_records",
+]

@@ -1,0 +1,126 @@
+"""Structured logging for the repro toolchain.
+
+``src/`` historically contained zero ``logging`` usage: faults, retries
+and shed requests were visible only as metric counters. This module is
+the one place logging is configured, so every subsystem emits through a
+child of the ``repro`` logger and the CLI's ``--log-level`` /
+``--log-json`` flags govern all of them at once.
+
+Two disciplines keep logging out of the determinism story:
+
+* **Never on a result path** - log calls describe events (a retry, a
+  shed, a drift alert); they never compute anything a ``RunResult``
+  depends on.
+* **Cheap when off** - the root ``repro`` logger defaults to
+  ``WARNING`` with no handler of its own, so an un-configured library
+  import costs a level check per call and emits nothing below that.
+
+:func:`configure_logging` installs a single stream handler with either
+a human one-line format or JSON-lines output (one object per record,
+``extra=`` fields inlined), suitable for shipping to a log pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional
+
+#: Every repro logger is a child of this name.
+ROOT_LOGGER = "repro"
+
+#: Attributes of a LogRecord that are plumbing, not payload; everything
+#: else that callers pass via ``extra=`` lands in the JSON object.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, msg + extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+class LineFormatter(logging.Formatter):
+    """Human one-liner: ``HH:MM:SS level logger: msg [k=v ...]``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        extras = " ".join(
+            f"{k}={v}"
+            for k, v in sorted(record.__dict__.items())
+            if k not in _RESERVED and not k.startswith("_")
+        )
+        line = (
+            f"{stamp} {record.levelname.lower():7s} "
+            f"{record.name}: {record.getMessage()}"
+        )
+        if extras:
+            line += f" [{extras}]"
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A child of the ``repro`` root logger (``repro.<name>``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def configure_logging(
+    level: str = "warning",
+    json_mode: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the root logger.
+
+    Idempotent: reconfiguring replaces the previously installed
+    handler instead of stacking a second one (important for tests and
+    long-lived REPL sessions). Only the ``repro`` subtree is touched -
+    the global root logger and other libraries are left alone.
+    """
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(
+            f"unknown log level {level!r} "
+            f"(use debug/info/warning/error/critical)"
+        )
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in [h for h in root.handlers if getattr(h, "_repro_handler", False)]:
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode else LineFormatter())
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    return root
+
+
+__all__ = [
+    "ROOT_LOGGER",
+    "JsonFormatter",
+    "LineFormatter",
+    "configure_logging",
+    "get_logger",
+]

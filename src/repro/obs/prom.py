@@ -1,0 +1,266 @@
+"""Prometheus text exposition (format v0.0.4) for a MetricsRegistry.
+
+:func:`render_prometheus` turns a
+:class:`~repro.telemetry.metrics.MetricsRegistry` (or its
+``to_dict()`` snapshot) into the plain-text scrape format every
+Prometheus-compatible collector speaks::
+
+    # HELP service_batch_size histogram
+    # TYPE service_batch_size histogram
+    service_batch_size_bucket{le="1"} 4
+    service_batch_size_bucket{le="2"} 9
+    ...
+    service_batch_size_bucket{le="+Inf"} 17
+    service_batch_size_sum 53
+    service_batch_size_count 17
+
+Mapping notes:
+
+* registry counters -> ``counter``; gauges -> ``gauge``; fixed-bucket
+  histograms -> ``histogram`` with *cumulative* ``_bucket`` series
+  (the registry stores per-bucket counts), ``le`` rendered with
+  shortest-repr floats and a final ``+Inf`` bucket equal to ``_count``;
+* metric names are sanitised to the Prometheus grammar
+  (``[a-zA-Z_:][a-zA-Z0-9_:]*``) - anything else becomes ``_``;
+* optional constant labels (e.g. build provenance) are attached to
+  every sample.
+
+:func:`parse_exposition` is the read-side contract checker CI scrapes
+with: it re-parses an exposition body line by line, validates the
+grammar, histogram bucket monotonicity and ``+Inf``/``_count``
+agreement, and returns the samples - so a format regression fails the
+build before an external scraper trips over it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Prometheus metric-name grammar.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITISE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+#: One exposition sample line: name{labels} value
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+#: Content type a compliant scraper expects for this format version.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def sanitise_name(name: str) -> str:
+    """Coerce an arbitrary registry name into the Prometheus grammar."""
+    if _NAME_RE.match(name):
+        return name
+    cleaned = _SANITISE_RE.sub("_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    """Shortest exact rendering; integers without a trailing .0."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    f = float(value)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _label_str(labels: Optional[Mapping[str, str]], extra: str = "") -> str:
+    parts = []
+    if labels:
+        parts.extend(
+            f'{k}="{str(v)}"' for k, v in sorted(labels.items())
+        )
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(
+    registry: Union[MetricsRegistry, Mapping[str, object]],
+    labels: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render a registry (or its ``to_dict`` snapshot) as exposition text.
+
+    ``labels`` are constant labels attached to every sample (use for
+    build provenance, e.g. ``{"config_hash": ..., "version": ...}``).
+    """
+    snapshot = (
+        registry.to_dict() if isinstance(registry, MetricsRegistry) else registry
+    )
+    counters = dict(snapshot.get("counters", {}))
+    gauges = dict(snapshot.get("gauges", {}))
+    histograms = dict(snapshot.get("histograms", {}))
+
+    lines: List[str] = []
+
+    def simple(kind: str, items: Mapping[str, object]) -> None:
+        for name, value in sorted(items.items()):
+            pname = sanitise_name(name)
+            lines.append(f"# HELP {pname} repro {kind} {name}")
+            lines.append(f"# TYPE {pname} {kind}")
+            lines.append(f"{pname}{_label_str(labels)} {_fmt(float(value))}")
+
+    simple("counter", counters)
+    simple("gauge", gauges)
+
+    for name, spec in sorted(histograms.items()):
+        pname = sanitise_name(name)
+        bounds = [float(b) for b in spec["bounds"]]
+        counts = [int(c) for c in spec["counts"]]
+        total = int(spec["total"])
+        lines.append(f"# HELP {pname} repro histogram {name}")
+        lines.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        for bound, count in zip(bounds, counts):
+            cumulative += count
+            le = 'le="' + _fmt(bound) + '"'
+            lines.append(f"{pname}_bucket{_label_str(labels, le)} {cumulative}")
+        inf_le = 'le="+Inf"'
+        lines.append(f"{pname}_bucket{_label_str(labels, inf_le)} {total}")
+        lines.append(f"{pname}_sum{_label_str(labels)} {_fmt(float(spec['sum']))}")
+        lines.append(f"{pname}_count{_label_str(labels)} {total}")
+
+    return "\n".join(lines) + "\n"
+
+
+class ExpositionError(ValueError):
+    """The exposition body violates the text-format contract."""
+
+
+def _parse_value(token: str, line_no: int) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    try:
+        return float(token)
+    except ValueError:
+        raise ExpositionError(f"line {line_no}: bad sample value {token!r}") from None
+
+
+def parse_exposition(text: str) -> Dict[Tuple[str, str], float]:
+    """Parse + validate exposition text; returns ``{(name, labels): value}``.
+
+    Checks, beyond per-line grammar:
+
+    * every ``# TYPE`` names a valid type and precedes its samples;
+    * histogram ``_bucket`` series have non-decreasing counts as ``le``
+      increases, and the ``+Inf`` bucket equals ``_count``;
+    * no duplicate samples.
+
+    Raises :class:`ExpositionError` on any violation - this is the CI
+    scrape gate.
+    """
+    samples: Dict[Tuple[str, str], float] = {}
+    types: Dict[str, str] = {}
+    #: histogram name -> list of (le, cumulative count), label-grouped.
+    buckets: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+
+    for line_no, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ExpositionError(f"line {line_no}: malformed TYPE comment")
+            _, _, name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ExpositionError(f"line {line_no}: unknown type {kind!r}")
+            if name in types:
+                raise ExpositionError(f"line {line_no}: duplicate TYPE for {name}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP and other comments
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ExpositionError(f"line {line_no}: malformed sample {line!r}")
+        name, label_body, value_token = (
+            m.group("name"), m.group("labels"), m.group("value")
+        )
+        label_pairs: Dict[str, str] = {}
+        if label_body:
+            for part in label_body.split(","):
+                lm = _LABEL_RE.match(part.strip())
+                if lm is None:
+                    raise ExpositionError(
+                        f"line {line_no}: malformed label {part!r}"
+                    )
+                label_pairs[lm.group(1)] = lm.group(2)
+        value = _parse_value(value_token, line_no)
+
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        if base not in types:
+            raise ExpositionError(
+                f"line {line_no}: sample {name!r} lacks a preceding TYPE"
+            )
+
+        if types.get(base) == "histogram" and name == f"{base}_bucket":
+            le = label_pairs.get("le")
+            if le is None:
+                raise ExpositionError(
+                    f"line {line_no}: histogram bucket without le label"
+                )
+            other = ",".join(
+                f"{k}={v}" for k, v in sorted(label_pairs.items()) if k != "le"
+            )
+            buckets.setdefault((base, other), []).append(
+                (_parse_value(le, line_no), value)
+            )
+
+        key = (name, ",".join(f"{k}={v}" for k, v in sorted(label_pairs.items())))
+        if key in samples:
+            raise ExpositionError(f"line {line_no}: duplicate sample {key}")
+        samples[key] = value
+
+    for (base, other), series in buckets.items():
+        if sorted(le for le, _ in series) != [le for le, _ in series]:
+            raise ExpositionError(f"{base}: bucket le values not ascending")
+        counts = [c for _, c in series]
+        if any(b < a for a, b in zip(counts, counts[1:])):
+            raise ExpositionError(f"{base}: bucket counts not cumulative")
+        if not series or series[-1][0] != math.inf:
+            raise ExpositionError(f"{base}: missing +Inf bucket")
+        count_key = (
+            f"{base}_count", other
+        )
+        if count_key not in samples:
+            raise ExpositionError(f"{base}: histogram lacks _count")
+        if samples[count_key] != series[-1][1]:
+            raise ExpositionError(
+                f"{base}: +Inf bucket {series[-1][1]} != _count "
+                f"{samples[count_key]}"
+            )
+        if (f"{base}_sum", other) not in samples:
+            raise ExpositionError(f"{base}: histogram lacks _sum")
+
+    return samples
+
+
+__all__ = [
+    "CONTENT_TYPE",
+    "ExpositionError",
+    "parse_exposition",
+    "render_prometheus",
+    "sanitise_name",
+]

@@ -42,9 +42,12 @@ import pickle
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Type
 
 from repro.config import SimConfig
+
+if TYPE_CHECKING:  # spans are optional; the import stays off the hot path
+    from repro.obs.trace import Span, Tracer
 from repro.core.objectives import Objective
 from repro.runtime.cache import ResultCache, describe_objective, task_key
 from repro.runtime.checkpoint import SweepCheckpoint
@@ -107,14 +110,16 @@ class SweepTask:
         return task_key(self.cache_fields())
 
 
-def run_task(task: SweepTask, recorder=None):
+def run_task(task: SweepTask, recorder=None, tracer=None):
     """Execute one cell to completion (runs in worker processes too).
 
     ``recorder`` is an optional
     :class:`~repro.telemetry.recorder.EpochTraceRecorder` attached to
-    the simulation (used by ``repro trace`` / ``repro report``). It is
-    deliberately *not* part of :class:`SweepTask` - telemetry never
-    enters the result-cache key because it never changes the result.
+    the simulation (used by ``repro trace`` / ``repro report``);
+    ``tracer`` an optional :class:`~repro.obs.trace.Tracer` for span
+    timing. Both are deliberately *not* part of :class:`SweepTask` -
+    observability never enters the result-cache key because it never
+    changes the result.
     """
     # Local imports keep worker start-up lean and avoid import cycles.
     from repro.dvfs.designs import make_controller
@@ -133,11 +138,14 @@ def run_task(task: SweepTask, recorder=None):
         max_epochs=task.max_epochs,
         oracle_sample_freqs=task.oracle_sample_freqs,
         telemetry=recorder,
+        tracer=tracer,
     )
     return sim.run()
 
 
-def _run_task_timed(task: SweepTask, attempt: int = 1) -> Tuple[object, float]:
+def _run_task_timed(
+    task: SweepTask, attempt: int = 1, span_ctx: Optional[Dict[str, str]] = None
+) -> Tuple[object, float, Optional[List[Dict[str, object]]]]:
     """One attempt at one cell, with the active fault plan consulted.
 
     Runs in worker processes (which inherit ``REPRO_FAULT_PLAN`` from the
@@ -147,15 +155,37 @@ def _run_task_timed(task: SweepTask, attempt: int = 1) -> Tuple[object, float]:
     or - untimed - the cell still produces its correct result); a
     ``corrupt`` fault returns a :class:`CorruptResult` marker the
     collector turns into :class:`CorruptResultError`.
+
+    ``span_ctx`` is a wire-form :class:`~repro.obs.trace.SpanContext`
+    (the parent's cell span). When given, a worker-side tracer joins
+    that trace, the simulation's run/epoch/oracle spans nest under it,
+    and the finished records travel back as the third element of the
+    return value for the parent to :meth:`~repro.obs.trace.Tracer.adopt`
+    - the same ship-back-and-merge pattern the sweep instrumentation
+    uses. When None (tracing off) no tracer object is built and the
+    third element is None.
     """
     t0 = time.perf_counter()
+    tracer = None
+    if span_ctx is not None:
+        from repro.obs.trace import SpanContext, Tracer
+
+        tracer = Tracer.from_context(SpanContext.from_wire(span_ctx))
     plan = active_fault_plan()
     if plan is not None:
         corrupt = plan.apply(task.label, attempt)
         if corrupt is not None:
-            return corrupt, time.perf_counter() - t0
-    result = run_task(task)
-    return result, time.perf_counter() - t0
+            return (
+                corrupt,
+                time.perf_counter() - t0,
+                tracer.collect() if tracer is not None else None,
+            )
+    result = run_task(task, tracer=tracer)
+    return (
+        result,
+        time.perf_counter() - t0,
+        tracer.collect() if tracer is not None else None,
+    )
 
 
 #: Exceptions that mean "this grid cannot cross the process boundary";
@@ -257,11 +287,17 @@ class SweepExecutor:
     #: Durable manifest of completed cells (see checkpoint.py); cells
     #: recorded there are skipped on resume by loading from the cache.
     checkpoint: Optional[SweepCheckpoint] = None
+    #: Optional span tracer (see :mod:`repro.obs.trace`). The sweep, each
+    #: cell attempt, and - via context propagation into the workers -
+    #: each run/epoch/oracle_sample become spans. None (the default)
+    #: costs one ``is None`` branch per site and changes nothing.
+    tracer: Optional["Tracer"] = None
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.progress.max_workers = max(self.progress.max_workers, self.max_workers)
+        self._sweep_span: Optional["Span"] = None
 
     # ------------------------------------------------------------------
 
@@ -271,6 +307,13 @@ class SweepExecutor:
         started_here = self.progress._t_start is None
         if started_here:
             self.progress.start()
+        tr = self.tracer
+        outer_span = self._sweep_span
+        if tr is not None:
+            self._sweep_span = tr.start(
+                "sweep", parent=outer_span, n_tasks=len(tasks),
+                max_workers=self.max_workers,
+            )
         try:
             results: List[Optional[object]] = [None] * len(tasks)
             pending: List[int] = []
@@ -285,8 +328,40 @@ class SweepExecutor:
                 self._run_parallel(tasks, pending, results)
             return results  # type: ignore[return-value]
         finally:
+            if tr is not None:
+                tr.finish(self._sweep_span)
+                self._sweep_span = outer_span
             if started_here:
                 self.progress.finish()
+
+    # -- span helpers (no-ops when no tracer is attached) ---------------
+
+    def _start_cell(
+        self, task: SweepTask, attempt: int
+    ) -> Tuple[Optional["Span"], Optional[Dict[str, str]]]:
+        """Open a cell-attempt span; returns (span, wire context)."""
+        tr = self.tracer
+        if tr is None:
+            return None, None
+        span = tr.start(
+            "cell", parent=self._sweep_span, label=task.label, attempt=attempt
+        )
+        return span, tr.context(span).to_wire()
+
+    def _end_cell(
+        self,
+        span: Optional["Span"],
+        status: str,
+        worker_records: Optional[List[Dict[str, object]]] = None,
+    ) -> None:
+        """Merge shipped worker spans and close the cell span."""
+        if span is None:
+            return
+        tr = self.tracer
+        if worker_records:
+            tr.adopt(worker_records)
+        if not span.done:
+            tr.finish(span, status=status)
 
     def run_one(self, task: SweepTask):
         return self.run([task])[0]
@@ -306,6 +381,11 @@ class SweepExecutor:
             return False
         results[i] = cached
         source = SOURCE_RESUMED if resumed else SOURCE_CACHE
+        if self.tracer is not None:
+            self.tracer.event(
+                "cell_cached", parent=self._sweep_span,
+                label=task.label, source=source,
+            )
         if self.checkpoint is not None:
             self.checkpoint.record(key, task.label, source)
         self.progress.record_cell(
@@ -364,20 +444,24 @@ class SweepExecutor:
         attempt = 0
         while True:
             attempt += 1
+            span, ctx = self._start_cell(task, attempt)
             try:
-                result, elapsed = _run_task_timed(task, attempt)
+                result, elapsed, spans = _run_task_timed(task, attempt, ctx)
                 if isinstance(result, CorruptResult):
                     raise CorruptResultError(
                         f"corrupt result for {task.label} (attempt {attempt})"
                     )
             except self.retry.retryable as exc:
                 if attempt >= self.retry.max_attempts:
+                    self._end_cell(span, "exhausted")
                     return self._exhausted(task, attempt, exc)
+                self._end_cell(span, "retry")
                 self.progress.record_retry(
                     task.label, attempt, exc, self.retry.delay_for(attempt + 1)
                 )
                 self._backoff(attempt + 1)
                 continue
+            self._end_cell(span, "ok", spans)
             self._finish_cell(task, result, elapsed, SOURCE_SERIAL, attempts=attempt)
             return result
 
@@ -386,14 +470,17 @@ class SweepExecutor:
         self.progress.note(
             f"final attempt {attempt} for {task.label}: running in-process"
         )
+        span, ctx = self._start_cell(task, attempt)
         try:
-            result, elapsed = _run_task_timed(task, attempt)
+            result, elapsed, spans = _run_task_timed(task, attempt, ctx)
             if isinstance(result, CorruptResult):
                 raise CorruptResultError(
                     f"corrupt result for {task.label} (attempt {attempt})"
                 )
         except self.retry.retryable as exc:
+            self._end_cell(span, "exhausted")
             return self._exhausted(task, attempt, exc)
+        self._end_cell(span, "ok", spans)
         self._finish_cell(task, result, elapsed, SOURCE_SERIAL, attempts=attempt)
         return result
 
@@ -450,14 +537,21 @@ class SweepExecutor:
             return
 
         futures: Dict[int, concurrent.futures.Future] = {}
+        cell_spans: Dict[int, Optional["Span"]] = {}
         try:
             for i in indices:
                 attempts[i] += 1
-                futures[i] = pool.submit(_run_task_timed, tasks[i], attempts[i])
+                span, ctx = self._start_cell(tasks[i], attempts[i])
+                cell_spans[i] = span
+                futures[i] = pool.submit(
+                    _run_task_timed, tasks[i], attempts[i], ctx
+                )
         except _FALLBACK_ERRORS as exc:
             self.progress.note(f"submit failed ({exc!r}); running serially")
             for fut in futures.values():
                 fut.cancel()
+            for span in cell_spans.values():
+                self._end_cell(span, "requeued")
             pool.shutdown(wait=False, cancel_futures=True)
             self._run_serial(tasks, indices, results)
             return
@@ -469,16 +563,20 @@ class SweepExecutor:
                 fut = futures[i]
                 if pool_tainted:
                     self._salvage(tasks, i, fut, results, attempts, queue)
+                    self._end_cell(cell_spans.get(i), "salvaged")
                     collected.add(i)
                     continue
                 try:
-                    result, elapsed = fut.result(timeout=self.task_timeout_s)
+                    result, elapsed, spans = fut.result(
+                        timeout=self.task_timeout_s
+                    )
                 except concurrent.futures.TimeoutError:
                     # Reap the pool *before* deciding the cell's fate, so
                     # a timed-out sweep never leaks busy workers.
                     pool_tainted = True
                     self._reap(pool, futures, skip=collected | {i})
                     collected.add(i)
+                    self._end_cell(cell_spans.get(i), "timeout")
                     self._fail_or_queue(
                         tasks[i], i,
                         SweepTimeoutError(
@@ -493,10 +591,12 @@ class SweepExecutor:
                     pool_tainted = True
                     self._reap(pool, futures, skip=collected | {i})
                     collected.add(i)
+                    self._end_cell(cell_spans.get(i), "broken_pool")
                     self._fail_or_queue(tasks[i], i, exc, results, attempts, queue)
                     continue
                 except self.retry.retryable as exc:
                     collected.add(i)
+                    self._end_cell(cell_spans.get(i), "retry")
                     self._fail_or_queue(tasks[i], i, exc, results, attempts, queue)
                     continue
                 except _FALLBACK_ERRORS as exc:
@@ -508,10 +608,15 @@ class SweepExecutor:
                         f"finishing {len(remaining)} cell(s) serially"
                     )
                     self._reap(pool, futures, skip=collected)
+                    self._end_cell(cell_spans.get(i), "error")
+                    for j in remaining:
+                        if j != i:
+                            self._end_cell(cell_spans.get(j), "requeued")
                     self._run_serial(tasks, remaining, results)
                     return
                 collected.add(i)
                 if isinstance(result, CorruptResult):
+                    self._end_cell(cell_spans.get(i), "corrupt", spans)
                     self._fail_or_queue(
                         tasks[i], i,
                         CorruptResultError(
@@ -521,6 +626,7 @@ class SweepExecutor:
                         results, attempts, queue,
                     )
                     continue
+                self._end_cell(cell_spans.get(i), "ok", spans)
                 results[i] = result
                 self._finish_cell(
                     tasks[i], result, elapsed, SOURCE_PARALLEL,
@@ -577,7 +683,9 @@ class SweepExecutor:
         if fut.done() and not fut.cancelled():
             exc = fut.exception()
             if exc is None:
-                result, elapsed = fut.result()
+                result, elapsed, spans = fut.result()
+                if self.tracer is not None and spans:
+                    self.tracer.adopt(spans)
                 if isinstance(result, CorruptResult):
                     self._fail_or_queue(
                         tasks[i], i,

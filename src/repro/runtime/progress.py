@@ -11,9 +11,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.obs.log import get_logger
 from repro.telemetry.metrics import SECONDS_BUCKETS, MetricsRegistry
+
+if TYPE_CHECKING:  # fed duck-typed; keeps the import graph acyclic
+    from repro.obs.drift import DriftMonitor
+
+_log = get_logger("sweep")
 
 #: How a cell's result was obtained.
 SOURCE_CACHE = "cache"
@@ -65,6 +71,11 @@ class SweepInstrumentation:
     #: from parallel workers merge associatively, so a parallel sweep's
     #: merged registry equals the serial run's (see test_runtime.py).
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Optional online drift monitor; fed one retry-rate observation per
+    #: attempt outcome (True for a retryable failure, False for a
+    #: computed success), so a sweep whose cells start failing
+    #: persistently raises a ``retry_rate`` alert while it runs.
+    drift: Optional["DriftMonitor"] = None
     _t_start: Optional[float] = None
     _t_end: Optional[float] = None
 
@@ -85,6 +96,14 @@ class SweepInstrumentation:
         )
         if record.attempts > 1:
             self.registry.inc("sweep_cells_retried")
+        if self.drift is not None and record.source in _COMPUTED_SOURCES:
+            self.drift.observe_retry(False)
+        _log.debug(
+            "cell done",
+            extra={"cell": record.label, "source": record.source,
+                   "wall_s": round(record.wall_s, 4),
+                   "attempts": record.attempts},
+        )
         if record.hotpath:
             from repro.runtime.profiling import HotPathCounters
 
@@ -94,6 +113,7 @@ class SweepInstrumentation:
         """Record a notable event (e.g. a fallback to serial execution)."""
         self.events.append(message)
         self.registry.inc("sweep_notes_total")
+        _log.info(message)
 
     def record_retry(
         self, label: str, attempt: int, error: BaseException, backoff_s: float
@@ -111,6 +131,13 @@ class SweepInstrumentation:
         self.registry.histogram("sweep_retry_backoff_s", SECONDS_BUCKETS).observe(
             backoff_s
         )
+        if self.drift is not None:
+            self.drift.observe_retry(True)
+        _log.warning(
+            f"retrying {label}",
+            extra={"cell": label, "attempt": attempt, "error": kind,
+                   "backoff_s": round(backoff_s, 4)},
+        )
 
     def record_failure(
         self, label: str, attempts: int, error: BaseException
@@ -122,6 +149,10 @@ class SweepInstrumentation:
             f"failed {label}: gave up after {attempts} attempt(s) ({kind})"
         )
         self.registry.inc("sweep_cells_failed")
+        _log.error(
+            f"cell {label} exhausted its retry budget",
+            extra={"cell": label, "attempts": attempts, "error": kind},
+        )
 
     # ------------------------------------------------------------------
 

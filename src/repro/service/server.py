@@ -30,7 +30,14 @@ One :class:`DecisionService` owns:
   to it.
 * **Observability** - ``/healthz`` (200 serving / 503 draining) and
   ``/metrics`` (a :class:`~repro.telemetry.metrics.MetricsRegistry`
-  snapshot) over minimal hand-rolled HTTP on a second listener.
+  snapshot with build meta + config hash as JSON, or Prometheus text
+  exposition via ``?format=prometheus`` / ``Accept: text/plain``) over
+  minimal hand-rolled HTTP on a second listener. An optional
+  :class:`~repro.obs.trace.Tracer` spans every connect -> session ->
+  request -> decision, and an optional
+  :class:`~repro.obs.drift.DriftMonitor` watches the shed rate - both
+  strictly observational: decisions are bit-identical with or without
+  them (``repro replay`` against a traced server pins this down).
 
 Epoch ordering is enforced per session: an ``observe`` whose epoch
 index is not the next expected one gets an ``error`` reply and changes
@@ -44,11 +51,18 @@ import asyncio
 import json
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.dvfs.designs import make_controller
+from repro.obs.log import get_logger
 from repro.service import protocol as proto
 from repro.telemetry.metrics import BATCH_BUCKETS, MetricsRegistry
+
+if TYPE_CHECKING:
+    from repro.obs.drift import DriftMonitor
+    from repro.obs.trace import Span, Tracer
+
+_log = get_logger("service")
 
 _HTTP_STATUS_TEXT = {
     200: "OK",
@@ -93,7 +107,7 @@ class _Session:
     """Server-side state of one client connection."""
 
     __slots__ = ("sid", "writer", "controller", "design", "inflight",
-                 "expected_epoch", "closed")
+                 "expected_epoch", "closed", "span")
 
     def __init__(self, sid: int, writer: asyncio.StreamWriter, controller, design: str):
         self.sid = sid
@@ -105,6 +119,8 @@ class _Session:
         #: The only epoch index the next observe may carry.
         self.expected_epoch = 0
         self.closed = False
+        #: The session's tracing span, when the service has a tracer.
+        self.span: Optional["Span"] = None
 
 
 class DecisionService:
@@ -114,9 +130,18 @@ class DecisionService:
         self,
         config: ServiceConfig = ServiceConfig(),
         registry: Optional[MetricsRegistry] = None,
+        tracer: Optional["Tracer"] = None,
+        drift: Optional["DriftMonitor"] = None,
     ) -> None:
         self.config = config
         self.registry = registry or MetricsRegistry()
+        #: Optional span tracer: connect -> session -> request ->
+        #: decision. Spans only observe; decisions are bit-identical
+        #: with or without one (``repro replay`` pins this down).
+        self.tracer = tracer
+        #: Optional drift monitor; fed one shed_rate observation per
+        #: observe frame (shed=1, admitted=0).
+        self.drift = drift
         self._sessions: Dict[int, _Session] = {}
         self._next_sid = 0
         self._queue: "asyncio.Queue[tuple]" = asyncio.Queue()
@@ -218,6 +243,8 @@ class DecisionService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         reg = self.registry
+        tr = self.tracer
+        conn_span = tr.start("connect") if tr is not None else None
         session: Optional[_Session] = None
         try:
             try:
@@ -231,6 +258,11 @@ class DecisionService:
             session = self._open_session(msg, writer)
             if session is None:
                 return
+            if tr is not None:
+                session.span = tr.start(
+                    "session", parent=conn_span,
+                    session=session.sid, design=session.design,
+                )
 
             while True:
                 try:
@@ -263,6 +295,15 @@ class DecisionService:
                 session.closed = True
                 self._sessions.pop(session.sid, None)
                 reg.inc("service_sessions_closed")
+                _log.info(
+                    "session closed",
+                    extra={"session": session.sid,
+                           "epochs": session.expected_epoch},
+                )
+                if session.span is not None:
+                    tr.finish(session.span, epochs=session.expected_epoch)
+            if conn_span is not None:
+                tr.finish(conn_span)
             writer.close()
 
     def _open_session(self, msg, writer: asyncio.StreamWriter) -> Optional[_Session]:
@@ -271,6 +312,7 @@ class DecisionService:
 
         def reject(code: str, error: str) -> None:
             reg.inc("service_rejects")
+            _log.warning(f"open rejected: {error}", extra={"code": code})
             self._reply(writer, {"type": proto.MSG_ERROR, "code": code,
                                  "error": error})
 
@@ -314,6 +356,10 @@ class DecisionService:
         reg.inc("service_sessions_opened")
         gauge = reg.gauge("service_sessions_peak")
         gauge.set(max(gauge.value, len(self._sessions)))
+        _log.info(
+            "session opened",
+            extra={"session": session.sid, "design": design},
+        )
 
         # Mirror the offline loop: decide() runs before the first epoch.
         decision = controller.decide()
@@ -331,6 +377,7 @@ class DecisionService:
     def _admit(self, session: _Session, msg) -> None:
         """Queue an observation, or shed it when the session is over cap."""
         reg = self.registry
+        tr = self.tracer
         reg.inc("service_requests")
         transport = session.writer.transport
         slow = (
@@ -341,6 +388,19 @@ class DecisionService:
             reg.inc("service_shed")
             reason = ("draining" if self._draining
                       else "slow_consumer" if slow else "inflight_cap")
+            if self.drift is not None:
+                self.drift.observe_shed(True)
+            if tr is not None:
+                tr.event(
+                    "shed", parent=session.span,
+                    session=session.sid, reason=reason,
+                    epoch=msg.get("epoch"),
+                )
+            _log.warning(
+                "observation shed",
+                extra={"session": session.sid, "reason": reason,
+                       "epoch": msg.get("epoch")},
+            )
             self._write(session, {
                 "type": proto.MSG_SHED,
                 "seq": msg.get("seq"),
@@ -348,8 +408,16 @@ class DecisionService:
                 "reason": reason,
             })
             return
+        if self.drift is not None:
+            self.drift.observe_shed(False)
+        req_span = None
+        if tr is not None:
+            req_span = tr.start(
+                "request", parent=session.span,
+                session=session.sid, epoch=msg.get("epoch"),
+            )
         session.inflight += 1
-        self._queue.put_nowait((session, msg))
+        self._queue.put_nowait((session, msg, req_span))
 
     async def _batch_loop(self) -> None:
         """Single consumer of the observation queue.
@@ -360,6 +428,7 @@ class DecisionService:
         load the per-wakeup cost is shared across sessions.
         """
         reg = self.registry
+        tr = self.tracer
         while True:
             batch = [await self._queue.get()]
             while len(batch) < self.config.batch_max:
@@ -369,15 +438,31 @@ class DecisionService:
                     break
             reg.inc("service_batches")
             reg.histogram("service_batch_size", BATCH_BUCKETS).observe(len(batch))
-            for session, msg in batch:
+            for session, msg, req_span in batch:
+                dec_span = (
+                    tr.start("decision", parent=req_span)
+                    if tr is not None and req_span is not None
+                    else None
+                )
                 try:
                     reply = self._decide(session, msg)
                 except Exception as exc:  # never let one request kill the loop
                     reg.inc("service_internal_errors")
+                    _log.error(
+                        f"internal error deciding for session {session.sid}: {exc}",
+                        extra={"session": session.sid},
+                    )
                     reply = {"type": proto.MSG_ERROR, "code": "internal",
                              "seq": msg.get("seq"), "error": str(exc)}
+                if dec_span is not None:
+                    tr.finish(dec_span)
                 session.inflight -= 1
                 self._write(session, reply)
+                if req_span is not None:
+                    tr.finish(
+                        req_span,
+                        status=(reply or {}).get("type", "none"),
+                    )
 
     def _decide(self, session: _Session, msg) -> Optional[Dict[str, object]]:
         """observe() + decide() for one admitted observation."""
@@ -462,18 +547,21 @@ class DecisionService:
     ) -> None:
         try:
             request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            accept = ""
             while True:  # consume headers up to the blank line
                 line = await asyncio.wait_for(reader.readline(), timeout=5.0)
                 if line in (b"\r\n", b"\n", b""):
                     break
+                header = line.decode("latin-1", "replace")
+                if header.lower().startswith("accept:"):
+                    accept = header.split(":", 1)[1].strip()
             parts = request_line.decode("latin-1").split()
             method = parts[0] if parts else ""
             path = parts[1] if len(parts) > 1 else ""
-            status, body = self._route(method, path)
-            payload = json.dumps(body, sort_keys=True).encode("utf-8")
+            status, payload, content_type = self._route(method, path, accept)
             head = (
                 f"HTTP/1.1 {status} {_HTTP_STATUS_TEXT.get(status, 'OK')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
                 f"Connection: close\r\n\r\n"
             )
@@ -484,24 +572,71 @@ class DecisionService:
         finally:
             writer.close()
 
-    def _route(self, method: str, path: str):
+    @staticmethod
+    def _wants_prometheus(query: str, accept: str) -> bool:
+        """Scrape-format negotiation: explicit ``?format=`` wins, then
+        an Accept header asking for text/plain (what Prometheus sends)."""
+        params = dict(
+            part.split("=", 1) for part in query.split("&") if "=" in part
+        )
+        fmt = params.get("format", "")
+        if fmt:
+            return fmt == "prometheus"
+        return "text/plain" in accept or "openmetrics" in accept
+
+    def _meta(self) -> Dict[str, object]:
+        """Build provenance: what produced these numbers, exactly."""
+        from repro.runtime.cache import config_hash
+        from repro.telemetry.schema import build_meta
+
+        return build_meta(config_hash=config_hash(self.config))
+
+    def _route(
+        self, method: str, path: str, accept: str = ""
+    ) -> Tuple[int, bytes, str]:
         from repro import __version__
 
+        def as_json(status: int, body: Dict[str, object]) -> Tuple[int, bytes, str]:
+            return (
+                status,
+                json.dumps(body, sort_keys=True).encode("utf-8"),
+                "application/json",
+            )
+
+        path, _, query = path.partition("?")
         if method != "GET":
-            return 405, {"error": "only GET is served"}
+            return as_json(405, {"error": "only GET is served"})
         if path == "/healthz":
             status = 503 if self._draining else 200
-            return status, {
+            return as_json(status, {
                 "status": "draining" if self._draining else "ok",
                 "version": __version__,
                 "sessions": len(self._sessions),
                 "uptime_s": round(time.monotonic() - self._started_at, 3),
-            }
+            })
         if path == "/metrics":
+            meta = self._meta()
+            if self._wants_prometheus(query, accept):
+                from repro.obs.prom import CONTENT_TYPE, render_prometheus
+
+                reg = self.registry
+                reg.gauge("service_sessions").set(len(self._sessions))
+                text = render_prometheus(
+                    reg,
+                    labels={
+                        "repro_version": str(meta["repro_version"]),
+                        "config_hash": str(meta["config_hash"])[:12],
+                    },
+                )
+                return 200, text.encode("utf-8"), CONTENT_TYPE
             snapshot = self.registry.to_dict()
             snapshot["sessions"] = len(self._sessions)
-            return 200, snapshot
-        return 404, {"error": f"no route {path!r} (try /healthz or /metrics)"}
+            snapshot["meta"] = meta
+            snapshot["config_hash"] = meta["config_hash"]
+            return as_json(200, snapshot)
+        return as_json(
+            404, {"error": f"no route {path!r} (try /healthz or /metrics)"}
+        )
 
 
 __all__ = ["DecisionService", "ServiceConfig"]

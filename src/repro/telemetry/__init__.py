@@ -23,7 +23,12 @@ test per epoch and allocates nothing - tier-1 results stay bit-identical
 """
 
 from repro.telemetry.accuracy import AccuracyReport, percentile
-from repro.telemetry.exporters import perfetto_trace, save_perfetto_json
+from repro.telemetry.exporters import (
+    perfetto_trace,
+    save_perfetto_json,
+    validate_trace_events,
+    validate_trace_json,
+)
 from repro.telemetry.metrics import (
     BATCH_BUCKETS,
     Counter,
@@ -68,4 +73,6 @@ __all__ = [
     "trace_meta",
     "validate_records",
     "validate_trace_file",
+    "validate_trace_events",
+    "validate_trace_json",
 ]

@@ -33,7 +33,10 @@ import json
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # duck-typed at runtime; keeps telemetry import-light
+    from repro.obs.drift import DriftMonitor
 
 from repro.telemetry.metrics import MetricsRegistry, RATIO_BUCKETS
 from repro.telemetry.schema import build_meta, epoch_result_to_wire, sim_config_to_wire
@@ -100,9 +103,16 @@ class PcErrorStat:
 class EpochTraceRecorder:
     """Collects one structured record per epoch per domain."""
 
-    def __init__(self, config: TelemetryConfig = TelemetryConfig()) -> None:
+    def __init__(
+        self,
+        config: TelemetryConfig = TelemetryConfig(),
+        drift: Optional["DriftMonitor"] = None,
+    ) -> None:
         self.config = config
         self.registry = MetricsRegistry()
+        #: Optional online drift monitor; fed one relative-error
+        #: observation per scored (epoch, domain). Purely observational.
+        self.drift = drift
         self.records: Deque[Dict[str, object]] = deque(
             maxlen=config.ring_size if config.ring_size > 0 else 0
         )
@@ -249,6 +259,8 @@ class EpochTraceRecorder:
                 rel_error = abs(pred_commits - actual) / actual
                 reg.inc("telemetry_scored")
                 reg.histogram("telemetry_rel_error", RATIO_BUCKETS).observe(rel_error)
+                if self.drift is not None:
+                    self.drift.observe_error(rel_error)
             rel_errors.append(rel_error)
 
             busy = 0.0

@@ -46,6 +46,20 @@ Record types in an epoch JSONL stream, one JSON object per line:
     streamed to the JSONL file only (never the in-memory ring - one
     record carries every wavefront's counters and would evict the
     timeline the ring exists for).
+
+A *span* JSONL stream (``repro.obs.trace.Tracer``) uses the same
+validator with its own header:
+
+``trace``
+    Stream header: the meta block plus the trace id.
+``span``
+    One finished wall-clock span: name, tracer-scoped monotonic span id,
+    parent span id (empty string at the root), start/end wall
+    nanoseconds, free-form ``attrs``.
+``alert``
+    A drift monitor threshold crossing or recovery
+    (``repro.obs.drift.DriftAlert.as_record``), interleaved with the
+    spans that surround it.
 """
 
 from __future__ import annotations
@@ -73,6 +87,11 @@ REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
     "summary": ("type", "workload", "design", "epochs", "delay_ns",
                 "energy_total"),
     "observation": ("type", "epoch", "result"),
+    "trace": ("type", "trace_id", "schema_version", "repro_version"),
+    "span": ("type", "trace_id", "span_id", "parent_id", "name",
+             "t_start_ns", "t_end_ns"),
+    "alert": ("type", "signal", "kind", "value", "threshold",
+              "window_count", "at_index"),
 }
 
 
@@ -164,7 +183,7 @@ def validate_record(record: Mapping[str, object]) -> str:
     missing = [f for f in required if f not in record]
     if missing:
         raise ValueError(f"{rtype} record missing fields: {missing}")
-    if rtype == "run":
+    if rtype in ("run", "trace"):
         check_meta(record)
     return str(rtype)
 
@@ -172,14 +191,18 @@ def validate_record(record: Mapping[str, object]) -> str:
 def validate_records(records: Iterable[Mapping[str, object]]) -> Dict[str, int]:
     """Validate a record stream; returns per-type counts.
 
-    The stream must start with a ``run`` header record.
+    The stream must start with a header record: ``run`` for an epoch
+    stream, ``trace`` for a span stream (``Tracer`` JSONL output).
     """
     counts: Dict[str, int] = {}
     first = True
     for record in records:
         rtype = validate_record(record)
-        if first and rtype != "run":
-            raise ValueError(f"stream must start with a run record, got {rtype!r}")
+        if first and rtype not in ("run", "trace"):
+            raise ValueError(
+                f"stream must start with a run record or trace record, "
+                f"got {rtype!r}"
+            )
         first = False
         counts[rtype] = counts.get(rtype, 0) + 1
     if first:

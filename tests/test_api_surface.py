@@ -77,6 +77,12 @@ class TestTopLevel:
         "repro.bench",
         "repro.bench.baseline",
         "repro.bench.micro",
+        "repro.obs",
+        "repro.obs.trace",
+        "repro.obs.drift",
+        "repro.obs.prom",
+        "repro.obs.log",
+        "repro.obs.monitor",
     ],
 )
 def test_module_all_exports_resolve(module):
