@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Distributed-sweep smoke test: broker + two workers, one SIGKILLed.
+
+End-to-end acceptance check for ``repro.runtime.distributed`` (run by
+the CI ``distributed-smoke`` job, and runnable locally):
+
+1. Run a quick design-matrix grid serially - the ground truth.
+2. Serve the same grid from a ``SweepBroker`` (with cache, checkpoint
+   manifest, and a span tracer attached) to two ``repro worker``
+   subprocesses. Worker A carries a ``REPRO_FAULT_PLAN`` that makes it
+   hang on every cell it leases; once worker B has drained the rest of
+   the grid, A - holding the one unfinished lease - is SIGKILLed.
+3. Require: the sweep completes; results are bit-identical
+   (``run_result_to_dict`` equality) to the serial run; at least one
+   lease was reclaimed; the checkpoint manifest holds no duplicate
+   cell keys; and the cross-host span stream is schema-valid with
+   worker-side spans correctly parented under the broker's cell spans.
+
+Exit status 0 = all checks passed.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis.trace_io import run_result_to_dict  # noqa: E402
+from repro.config import small_config  # noqa: E402
+from repro.obs.trace import Tracer  # noqa: E402
+from repro.runtime.cache import ResultCache  # noqa: E402
+from repro.runtime.checkpoint import SweepCheckpoint  # noqa: E402
+from repro.runtime.distributed import SweepBroker  # noqa: E402
+from repro.runtime.executor import SweepExecutor, SweepTask  # noqa: E402
+from repro.runtime.faults import FaultPlan, FaultSpec  # noqa: E402
+from repro.telemetry.schema import validate_record  # noqa: E402
+
+WORKLOADS = ("dgemm", "hacc", "quickS")
+DESIGNS = ("CRISP", "PCSTALL")
+
+
+def quick_grid():
+    cfg = small_config()
+    return [
+        SweepTask(workload=w, design=d, config=cfg, scale=0.2, max_epochs=40)
+        for w in WORKLOADS
+        for d in DESIGNS
+    ]
+
+
+def spawn_worker(port: int, name: str, fault_plan=None) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_FAULT_PLAN", None)
+    if fault_plan is not None:
+        env["REPRO_FAULT_PLAN"] = fault_plan.to_json()
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--connect", f"127.0.0.1:{port}", "--name", name],
+        env=env, cwd=str(REPO),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def main() -> int:
+    tasks = quick_grid()
+    n = len(tasks)
+    checks = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        checks.append(ok)
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}" + (f": {detail}" if detail else ""))
+
+    print(f"== serial baseline ({n} cells)")
+    serial = SweepExecutor(max_workers=1, cache=None).run(tasks)
+    truth = [run_result_to_dict(r) for r in serial]
+
+    print("== remote sweep: broker + 2 workers, worker A SIGKILLed")
+    with tempfile.TemporaryDirectory(prefix="repro-dsmoke-") as tmp:
+        cache_dir = pathlib.Path(tmp) / "cache"
+        manifest = pathlib.Path(tmp) / "sweep.manifest.jsonl"
+        tracer = Tracer(ring_size=0)
+        broker = SweepBroker(port=0, lease_s=4.0)
+        checkpoint = SweepCheckpoint(manifest, sweep="distributed-smoke")
+        ex = SweepExecutor(
+            cache=ResultCache(cache_dir),
+            checkpoint=checkpoint,
+            tracer=tracer,
+            backend="remote",
+            broker=broker,
+        )
+        remote: list = [None]
+        errors: list = []
+
+        def run_sweep() -> None:
+            try:
+                remote[0] = ex.run(tasks)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        sweep = threading.Thread(target=run_sweep, name="sweep")
+        sweep.start()
+        deadline = time.monotonic() + 30
+        while broker.bound_port is None and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert broker.bound_port is not None, "broker never bound"
+        port = broker.bound_port
+
+        # Worker A hangs (far beyond any timeout) on every cell it
+        # leases; start it alone so it is guaranteed to hold a lease.
+        hang = FaultPlan(specs=(
+            FaultSpec(cell="*", mode="hang", attempts=None, hang_s=600.0),
+        ))
+        worker_a = spawn_worker(port, "worker-a", fault_plan=hang)
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            with broker._lock:
+                if broker._leases:
+                    break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("worker A never leased a cell")
+
+        worker_b = spawn_worker(port, "worker-b")
+
+        # Wait until only worker A's hung cell remains, then kill A
+        # mid-computation - the broker must reclaim and reassign it.
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            if len(ex.progress.cells) >= n - 1:
+                break
+            if not sweep.is_alive():
+                break
+            time.sleep(0.1)
+        worker_a.send_signal(signal.SIGKILL)
+        print(f"  killed worker A (pid {worker_a.pid}) with SIGKILL")
+
+        sweep.join(timeout=300)
+        hung = sweep.is_alive()
+        worker_a.wait(timeout=30)
+        try:
+            b_out = worker_b.communicate(timeout=60)[0]
+        except subprocess.TimeoutExpired:
+            worker_b.kill()
+            b_out = worker_b.communicate()[0]
+        if errors:
+            raise errors[0]
+        check("sweep completed (no hang)", not hung)
+        if hung:
+            return 1
+        print("  worker B output:", (b_out or "").strip().splitlines()[-1:])
+
+        results = remote[0]
+        check(
+            "results bit-identical to serial",
+            results is not None
+            and [run_result_to_dict(r) for r in results] == truth,
+        )
+
+        reclaimed = ex.progress.registry.counter_values().get(
+            "sweep_cells_reclaimed", 0
+        )
+        check("sweep_cells_reclaimed >= 1", reclaimed >= 1, f"got {int(reclaimed)}")
+
+        keys = [
+            json.loads(line)["key"]
+            for line in manifest.read_text().splitlines()
+            if line.strip() and "key" in json.loads(line)
+        ]
+        check(
+            "checkpoint manifest keys unique",
+            len(keys) == len(set(keys)) and len(keys) == n,
+            f"{len(keys)} entries, {len(set(keys))} unique",
+        )
+        checkpoint.close()
+
+        records = tracer.collect()
+        bad = [r for r in records if not _valid(r)]
+        spans = [r for r in records if r.get("type") == "span"]
+        check("span stream schema-valid", not bad and len(spans) > 0,
+              f"{len(records)} records, {len(spans)} spans")
+        by_id = {s["span_id"]: s for s in spans}
+        cells = [s for s in spans if s.get("name") == "cell"]
+        runs = [s for s in spans if s.get("name") == "run"]
+        nested = all(
+            r["parent_id"] in by_id and by_id[r["parent_id"]]["name"] == "cell"
+            and r["trace_id"] == by_id[r["parent_id"]]["trace_id"]
+            for r in runs
+        )
+        check(
+            "worker spans nest under broker cell spans",
+            nested and len(runs) == n and len(cells) >= n,
+            f"{len(cells)} cell spans, {len(runs)} run spans",
+        )
+        workers_seen = {c["attrs"].get("worker") for c in cells}
+        check("both workers appear in cell spans", len(workers_seen) >= 2,
+              f"peers: {sorted(str(w) for w in workers_seen)}")
+
+    ok = all(checks)
+    print("== distributed smoke:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def _valid(record) -> bool:
+    try:
+        validate_record(record)
+        return True
+    except Exception:  # noqa: BLE001 - any validation error fails the check
+        return False
+
+
+if __name__ == "__main__":
+    sys.exit(main())

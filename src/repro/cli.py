@@ -153,17 +153,33 @@ def _checkpoint(args, sweep: str, always: bool = False) -> Optional[SweepCheckpo
     return SweepCheckpoint(path, sweep=sweep, resume=args.resume)
 
 
+def _broker(args):
+    """SweepBroker for ``--backend remote``, or None for local runs."""
+    backend = getattr(args, "backend", "local")
+    if backend != "remote":
+        return None
+    from repro.runtime.distributed import DEFAULT_BROKER_PORT, SweepBroker
+
+    host, port = "127.0.0.1", DEFAULT_BROKER_PORT
+    if args.listen:
+        host, port = _host_port(args.listen, flag="--listen")
+    return SweepBroker(host=host, port=port)
+
+
 def _executor(
     args,
     progress: Optional[SweepInstrumentation] = None,
     checkpoint: Optional[SweepCheckpoint] = None,
 ) -> SweepExecutor:
+    broker = _broker(args)
     return SweepExecutor(
         max_workers=args.workers,
         cache=None if args.no_cache else ResultCache(args.cache_dir),
         progress=progress or SweepInstrumentation(),
         retry=_retry_policy(args),
         checkpoint=checkpoint,
+        backend="remote" if broker is not None else "local",
+        broker=broker,
     )
 
 
@@ -657,12 +673,37 @@ def cmd_replay(args) -> int:
     return 0 if report.bit_identical else 1
 
 
-def _host_port(spec: str) -> tuple:
+def cmd_worker(args) -> int:
+    from repro.runtime.distributed import SweepWorker, WorkerError
+
+    host, port = _host_port(args.connect, flag="--connect")
+    worker = SweepWorker(
+        host=host,
+        port=port,
+        name=args.name,
+        timeout_s=args.timeout,
+        connect_timeout_s=args.connect_timeout,
+        max_tasks=args.max_tasks,
+    )
+    try:
+        summary = worker.run()
+    except WorkerError as exc:
+        print(f"repro worker: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"worker {worker.name}: {summary.completed} cell(s) computed, "
+        f"{summary.failed} failed attempt(s), "
+        f"{summary.rejected} late result(s) discarded"
+    )
+    return 0
+
+
+def _host_port(spec: str, flag: str = "--url") -> tuple:
     """Parse ``HOST:PORT`` (an optional ``http://`` prefix is shed)."""
     spec = spec.split("//", 1)[-1].rstrip("/")
     host, _, port = spec.rpartition(":")
     if not host or not port.isdigit():
-        raise SystemExit(f"--url must be HOST:PORT, got {spec!r}")
+        raise SystemExit(f"{flag} must be HOST:PORT, got {spec!r}")
     return host, int(port)
 
 
@@ -890,6 +931,13 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--checkpoint", metavar="FILE", default=None,
                         help="checkpoint manifest path (default: "
                              "<cache-dir>/checkpoints/<sweep>.manifest.jsonl)")
+        sp.add_argument("--backend", choices=("local", "remote"), default="local",
+                        help="where cells execute: this host's process pool "
+                             "(local) or remote workers served by a broker "
+                             "(remote; see 'repro worker')")
+        sp.add_argument("--listen", metavar="HOST:PORT", default=None,
+                        help="broker bind address for --backend remote "
+                             "(default 127.0.0.1:8474)")
 
     sp = sub.add_parser("run", help="run one workload under one design")
     common(sp)
@@ -1047,6 +1095,26 @@ def build_parser() -> argparse.ArgumentParser:
                     help="attempt budget for connects and shed observations "
                          "(default %(default)s)")
     sp.set_defaults(fn=cmd_replay)
+
+    sp = sub.add_parser(
+        "worker",
+        help="join a remote sweep: lease cells from a broker "
+             "(run/compare/figure --backend remote) and stream results back",
+    )
+    sp.add_argument("--connect", metavar="HOST:PORT", required=True,
+                    help="broker address (the sweep's --listen)")
+    sp.add_argument("--name", default=None,
+                    help="worker name in broker logs/spans "
+                         "(default host:pid)")
+    sp.add_argument("--timeout", type=float, default=60.0,
+                    help="per-reply timeout in seconds (default %(default)s)")
+    sp.add_argument("--connect-timeout", type=float, default=30.0,
+                    help="how long to keep retrying the initial connect "
+                         "(default %(default)s)")
+    sp.add_argument("--max-tasks", type=int, default=None,
+                    help="leave after computing this many cells "
+                         "(default: stay until the sweep completes)")
+    sp.set_defaults(fn=cmd_worker)
 
     sp = sub.add_parser(
         "metrics",

@@ -31,6 +31,14 @@ from repro.runtime.cache import (
     task_key,
 )
 from repro.runtime.checkpoint import SweepCheckpoint, default_checkpoint_path
+from repro.runtime.distributed import (
+    DEFAULT_BROKER_PORT,
+    LeaseExpired,
+    SweepBroker,
+    SweepWorker,
+    WorkerError,
+    WorkerSummary,
+)
 from repro.runtime.executor import (
     NO_RETRY,
     FailedCell,
@@ -59,6 +67,7 @@ from repro.runtime.progress import CellRecord, SweepInstrumentation
 
 __all__ = [
     "CACHE_DIR_ENV",
+    "DEFAULT_BROKER_PORT",
     "DEFAULT_CACHE_DIR",
     "FAULT_PLAN_ENV",
     "NO_RETRY",
@@ -70,13 +79,18 @@ __all__ = [
     "FaultSpec",
     "HotPathCounters",
     "InjectedFaultError",
+    "LeaseExpired",
     "ResultCache",
     "RetryPolicy",
+    "SweepBroker",
     "SweepCheckpoint",
     "SweepExecutor",
     "SweepInstrumentation",
     "SweepTask",
     "SweepTimeoutError",
+    "SweepWorker",
+    "WorkerError",
+    "WorkerSummary",
     "active_fault_plan",
     "collect_hotpath",
     "default_cache_dir",

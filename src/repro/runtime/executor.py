@@ -48,6 +48,7 @@ from repro.config import SimConfig
 
 if TYPE_CHECKING:  # spans are optional; the import stays off the hot path
     from repro.obs.trace import Span, Tracer
+    from repro.runtime.distributed import SweepBroker
 from repro.core.objectives import Objective
 from repro.runtime.cache import ResultCache, describe_objective, task_key
 from repro.runtime.checkpoint import SweepCheckpoint
@@ -203,6 +204,10 @@ _FALLBACK_ERRORS = (
 ON_EXHAUSTED_RAISE = "raise"
 ON_EXHAUSTED_RECORD = "record"
 
+#: ``SweepExecutor.backend`` values.
+BACKEND_LOCAL = "local"
+BACKEND_REMOTE = "remote"
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -292,10 +297,21 @@ class SweepExecutor:
     #: each run/epoch/oracle_sample become spans. None (the default)
     #: costs one ``is None`` branch per site and changes nothing.
     tracer: Optional["Tracer"] = None
+    #: ``"local"`` (process pool / serial on this host) or ``"remote"``
+    #: (cells served to worker hosts by the attached ``broker``). Cache
+    #: hits and checkpoint resume are handled identically either way.
+    backend: str = BACKEND_LOCAL
+    #: The :class:`~repro.runtime.distributed.SweepBroker` serving the
+    #: grid when ``backend="remote"``.
+    broker: Optional["SweepBroker"] = None
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if self.backend not in (BACKEND_LOCAL, BACKEND_REMOTE):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.backend == BACKEND_REMOTE and self.broker is None:
+            raise ValueError('backend="remote" requires a broker')
         self.progress.max_workers = max(self.progress.max_workers, self.max_workers)
         self._sweep_span: Optional["Span"] = None
 
@@ -322,7 +338,11 @@ class SweepExecutor:
                     continue
                 pending.append(i)
 
-            if self.max_workers <= 1 or len(pending) <= 1:
+            if self.backend == BACKEND_REMOTE:
+                if pending:
+                    assert self.broker is not None
+                    self.broker.serve(self, tasks, pending, results)
+            elif self.max_workers <= 1 or len(pending) <= 1:
                 self._run_serial(tasks, pending, results)
             else:
                 self._run_parallel(tasks, pending, results)
@@ -733,6 +753,8 @@ class SweepExecutor:
 
 
 __all__ = [
+    "BACKEND_LOCAL",
+    "BACKEND_REMOTE",
     "NO_RETRY",
     "ON_EXHAUSTED_RAISE",
     "ON_EXHAUSTED_RECORD",

@@ -27,9 +27,11 @@ SOURCE_SERIAL = "serial"
 SOURCE_PARALLEL = "parallel"
 #: Skipped because the checkpoint manifest proved it already completed.
 SOURCE_RESUMED = "resumed"
+#: Computed by a remote worker host (see repro.runtime.distributed).
+SOURCE_REMOTE = "remote"
 
 #: Sources that actually computed (everything else was loaded).
-_COMPUTED_SOURCES = (SOURCE_SERIAL, SOURCE_PARALLEL)
+_COMPUTED_SOURCES = (SOURCE_SERIAL, SOURCE_PARALLEL, SOURCE_REMOTE)
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,9 @@ class SweepInstrumentation:
     retry_events: List[tuple] = field(default_factory=list)
     #: (label, attempts, error type) per cell that exhausted its budget.
     failed_cells: List[tuple] = field(default_factory=list)
+    #: (label, worker, attempt, cause) per lease reclaimed from a dead
+    #: or hung remote worker (see :mod:`repro.runtime.distributed`).
+    reclaim_events: List[tuple] = field(default_factory=list)
     #: Common telemetry sink. Every recorded cell increments
     #: ``sweep_cells_total`` / ``sweep_cells_<source>``, observes its
     #: wall time in the ``sweep_cell_wall_s`` histogram, and folds its
@@ -139,6 +144,28 @@ class SweepInstrumentation:
                    "backoff_s": round(backoff_s, 4)},
         )
 
+    def record_reclaim(
+        self, label: str, worker: str, attempt: int, cause: str
+    ) -> None:
+        """A leased cell was reclaimed from a dead or hung remote worker.
+
+        Counted separately from retries (``sweep_cells_reclaimed`` vs
+        ``sweep_retries_total``): a reclaim says a *worker* was lost, a
+        retry says an *attempt* failed. The distributed backend records
+        both for each reclaimed cell - the reclaim here, then the
+        ordinary retry/exhaustion accounting for the charged attempt.
+        """
+        self.reclaim_events.append((label, worker, attempt, cause))
+        self.events.append(
+            f"reclaimed {label} from {worker} (attempt {attempt}: {cause})"
+        )
+        self.registry.inc("sweep_cells_reclaimed")
+        _log.warning(
+            f"reclaiming {label}",
+            extra={"cell": label, "worker": worker, "attempt": attempt,
+                   "cause": cause},
+        )
+
     def record_failure(
         self, label: str, attempts: int, error: BaseException
     ) -> None:
@@ -171,6 +198,10 @@ class SweepInstrumentation:
     @property
     def retries(self) -> int:
         return len(self.retry_events)
+
+    @property
+    def reclaims(self) -> int:
+        return len(self.reclaim_events)
 
     @property
     def failures(self) -> int:
@@ -230,6 +261,8 @@ class SweepInstrumentation:
             rows.append(["resumed from checkpoint", self.resumed])
         if self.retries:
             rows.append(["retries", self.retries])
+        if self.reclaims:
+            rows.append(["reclaimed leases", self.reclaims])
         if self.failures:
             rows.append(["failed cells", self.failures])
         for c in self.slowest_cells():
@@ -250,9 +283,11 @@ class SweepInstrumentation:
             "cache_misses": self.cache_misses,
             "resumed": self.resumed,
             "retries": self.retries,
+            "reclaims": self.reclaims,
             "failures": self.failures,
             "retry_events": [list(e) for e in self.retry_events],
             "failed_cells": [list(e) for e in self.failed_cells],
+            "reclaim_events": [list(e) for e in self.reclaim_events],
             "workers": self.max_workers,
             "wall_s": self.wall_s,
             "compute_s": self.compute_s,
@@ -269,5 +304,6 @@ __all__ = [
     "SOURCE_CACHE",
     "SOURCE_SERIAL",
     "SOURCE_PARALLEL",
+    "SOURCE_REMOTE",
     "SOURCE_RESUMED",
 ]

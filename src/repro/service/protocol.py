@@ -3,18 +3,11 @@
 Framing
 -------
 Every message is one *frame*: a 4-byte big-endian unsigned length
-followed by that many bytes of UTF-8 JSON (one object per frame).
-Length-prefixed JSON keeps the protocol stdlib-only, debuggable with a
-pipe and ``json.loads``, and language-agnostic for non-Python clients.
-
-Float fidelity
---------------
-Python's ``json`` serialises floats with ``repr``, which round-trips
-IEEE-754 binary64 exactly. Every quantity the predictor consumes
-(stall nanoseconds, commit counts, frequencies, truth lines) therefore
-survives the wire bit-for-bit, which is what makes ``repro replay``'s
-"online decisions == offline decisions" check exact rather than
-approximate.
+followed by that many bytes of UTF-8 JSON (one object per frame). The
+framing helpers (and the exact-float-round-trip rationale) live in
+:mod:`repro.runtime.wire`, shared with the distributed sweep broker;
+this module re-exports them so service code and existing callers keep
+one import site.
 
 Message vocabulary
 ------------------
@@ -45,14 +38,19 @@ served).
 
 from __future__ import annotations
 
-import asyncio
-import json
 import re
-import socket
-import struct
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.config import DvfsConfig, GpuConfig, MemoryConfig, PowerConfig, SimConfig
+from repro.runtime.wire import (  # noqa: F401  (re-exported public surface)
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+)
 from repro.core.objectives import (
     EDnPObjective,
     Objective,
@@ -72,11 +70,6 @@ PROTOCOL_VERSION = 1
 DEFAULT_PORT = 8472
 DEFAULT_HEALTH_PORT = 8473
 
-#: Ceiling on one frame's payload. A paper-scale observation (64 CUs x
-#: 40 waves) is ~1 MB of JSON; 64 MB leaves room for much larger
-#: platforms while bounding what a garbage length prefix can allocate.
-MAX_FRAME_BYTES = 64 * 1024 * 1024
-
 # Client -> server message types.
 MSG_OPEN = "open"
 MSG_OBSERVE = "observe"
@@ -91,88 +84,6 @@ MSG_BYE = "bye"
 MSG_SHED = "shed"
 MSG_ERROR = "error"
 MSG_SHUTDOWN = "shutdown"
-
-
-class ProtocolError(RuntimeError):
-    """A frame or payload that violates the wire protocol."""
-
-
-# ----------------------------------------------------------------------
-# Framing
-
-def encode_frame(message: Mapping[str, object]) -> bytes:
-    """One wire frame: 4-byte big-endian length + compact JSON."""
-    payload = json.dumps(
-        message, separators=(",", ":"), allow_nan=False
-    ).encode("utf-8")
-    if len(payload) > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame payload {len(payload)} bytes exceeds {MAX_FRAME_BYTES}"
-        )
-    return struct.pack(">I", len(payload)) + payload
-
-
-def decode_payload(payload: bytes) -> Dict[str, object]:
-    try:
-        message = json.loads(payload.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from None
-    if not isinstance(message, dict):
-        raise ProtocolError(
-            f"frame payload must be a JSON object, got {type(message).__name__}"
-        )
-    return message
-
-
-async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, object]]:
-    """Read one frame; None on a clean or abrupt connection end."""
-    try:
-        header = await reader.readexactly(4)
-    except (asyncio.IncompleteReadError, ConnectionError):
-        return None
-    (length,) = struct.unpack(">I", header)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame length {length} exceeds {MAX_FRAME_BYTES} bytes"
-        )
-    try:
-        payload = await reader.readexactly(length)
-    except (asyncio.IncompleteReadError, ConnectionError):
-        return None
-    return decode_payload(payload)
-
-
-def send_frame(sock: socket.socket, message: Mapping[str, object]) -> None:
-    """Blocking-socket counterpart of the stream writer (client side)."""
-    sock.sendall(encode_frame(message))
-
-
-def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
-    chunks: List[bytes] = []
-    remaining = n
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            return None
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
-def recv_frame(sock: socket.socket) -> Optional[Dict[str, object]]:
-    """Blocking read of one frame; None when the peer closed."""
-    header = _recv_exact(sock, 4)
-    if header is None:
-        return None
-    (length,) = struct.unpack(">I", header)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame length {length} exceeds {MAX_FRAME_BYTES} bytes"
-        )
-    payload = _recv_exact(sock, length)
-    if payload is None:
-        return None
-    return decode_payload(payload)
 
 
 # ----------------------------------------------------------------------

@@ -71,9 +71,11 @@ class TestTopLevel:
         "repro.runtime.executor",
         "repro.runtime.cache",
         "repro.runtime.checkpoint",
+        "repro.runtime.distributed",
         "repro.runtime.faults",
         "repro.runtime.progress",
         "repro.runtime.profiling",
+        "repro.runtime.wire",
         "repro.bench",
         "repro.bench.baseline",
         "repro.bench.micro",

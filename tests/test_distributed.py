@@ -1,0 +1,666 @@
+"""Distributed sweep backend: broker/worker protocol, leases, exactly-once.
+
+End-to-end tests run a real :class:`SweepBroker` (ephemeral port) with
+real :class:`SweepWorker` loops in threads; protocol-level tests drive
+the broker with a hand-rolled "fake worker" socket so lease expiry,
+late results, and adversarial frames can be sequenced deterministically.
+"""
+
+import functools
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.analysis.trace_io import run_result_to_dict
+from repro.config import small_config
+from repro.core.objectives import (
+    EDnPObjective,
+    PerformanceCapObjective,
+    QoSDeadlineObjective,
+    StaticObjective,
+)
+from repro.obs.trace import Tracer
+from repro.runtime.cache import ResultCache, describe_objective
+from repro.runtime.checkpoint import SweepCheckpoint
+from repro.runtime.distributed import (
+    BROKER_PROTOCOL_VERSION,
+    LeaseExpired,
+    RemoteCellError,
+    SweepBroker,
+    SweepWorker,
+    WorkerError,
+    error_from_wire,
+    objective_from_wire,
+    result_from_wire,
+    result_to_wire,
+    sweep_task_from_wire,
+    sweep_task_to_wire,
+)
+from repro.runtime.executor import (
+    ON_EXHAUSTED_RECORD,
+    FailedCell,
+    RetryPolicy,
+    SweepExecutor,
+    SweepTask,
+    SweepTimeoutError,
+    _run_task_timed,
+)
+from repro.runtime.faults import CorruptResultError, InjectedFaultError
+from repro.runtime.wire import ProtocolError, recv_frame, send_frame
+
+CONFIG = small_config()
+
+
+def task(workload="dgemm", design="CRISP", **kw):
+    kw.setdefault("scale", 0.1)
+    kw.setdefault("max_epochs", 20)
+    return SweepTask(workload=workload, design=design, config=CONFIG, **kw)
+
+
+@functools.lru_cache(maxsize=None)
+def computed(workload, design):
+    """One real result per cell, computed once for the whole module."""
+    result, _, _ = _run_task_timed(task(workload, design))
+    return result
+
+
+def result_frames(t, index, attempt):
+    """A valid ``result`` frame for a (real, precomputed) cell result."""
+    result = computed(t.workload, t.design)
+    return {
+        "type": "result", "index": index, "attempt": attempt,
+        "key": t.key(), "wall_s": 0.01,
+        "result": result_to_wire(result),
+        "dict": run_result_to_dict(result), "spans": [],
+    }
+
+
+class BrokerHarness:
+    """A broker serving ``tasks`` on a background thread."""
+
+    def __init__(self, tasks, executor_kw=None, broker_kw=None):
+        self.tasks = tasks
+        self.broker = SweepBroker(port=0, lease_s=0.6, **(broker_kw or {}))
+        self.ex = SweepExecutor(
+            backend="remote", broker=self.broker, **(executor_kw or {})
+        )
+        self.results = None
+        self.error = None
+        self._thread = threading.Thread(target=self._run, name="harness-sweep")
+
+    def _run(self):
+        try:
+            self.results = self.ex.run(self.tasks)
+        except BaseException as exc:  # noqa: BLE001 - re-raised in join()
+            self.error = exc
+
+    def __enter__(self):
+        self._thread.start()
+        deadline = time.monotonic() + 10
+        while self.broker.bound_port is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert self.broker.bound_port is not None, "broker never bound"
+        return self
+
+    def connect(self):
+        sock = socket.create_connection(
+            ("127.0.0.1", self.broker.bound_port), timeout=10.0
+        )
+        sock.settimeout(10.0)
+        return sock
+
+    def worker(self, **kw):
+        kw.setdefault("timeout_s", 20.0)
+        return SweepWorker(port=self.broker.bound_port, **kw)
+
+    def join(self, timeout=60.0):
+        self._thread.join(timeout=timeout)
+        assert not self._thread.is_alive(), "sweep hung"
+        if self.error is not None:
+            raise self.error
+        return self.results
+
+    def __exit__(self, *exc):
+        self._thread.join(timeout=60.0)
+        return False
+
+
+def handshake(sock, name="fake"):
+    send_frame(sock, {
+        "type": "hello", "protocol": BROKER_PROTOCOL_VERSION, "worker": name,
+    })
+    reply = recv_frame(sock, strict=True)
+    assert reply["type"] == "hello_ok"
+    return reply
+
+
+def lease(sock):
+    """Send ready until the broker grants a task (skipping idle waits)."""
+    for _ in range(200):
+        send_frame(sock, {"type": "ready"})
+        reply = recv_frame(sock, strict=True)
+        if reply["type"] == "task":
+            return reply
+        assert reply["type"] == "idle", reply
+        time.sleep(float(reply["retry_after_s"]))
+    raise AssertionError("broker never granted a task")
+
+
+# ----------------------------------------------------------------------
+# Wire codecs
+
+
+class TestTaskCodec:
+    @pytest.mark.parametrize("objective", [
+        None,
+        StaticObjective(1.4),
+        EDnPObjective(2),
+        EDnPObjective(1, price_scale=1.25),
+        PerformanceCapObjective(0.05),
+        QoSDeadlineObjective(1000.0),
+    ])
+    def test_round_trip_preserves_cache_key(self, objective):
+        t = task(objective=objective, oracle_sample_freqs=4,
+                 collect_accuracy=True)
+        rebuilt = sweep_task_from_wire(sweep_task_to_wire(t))
+        assert rebuilt.key() == t.key()
+        assert rebuilt.label == t.label
+        assert describe_objective(rebuilt.objective) == describe_objective(
+            t.objective
+        )
+
+    def test_wire_form_is_json_clean(self):
+        import json
+
+        wire = sweep_task_to_wire(task(objective=EDnPObjective(2)))
+        assert sweep_task_from_wire(json.loads(json.dumps(wire))).key() == \
+            task(objective=EDnPObjective(2)).key()
+
+    def test_malformed_task_is_typed(self):
+        with pytest.raises(ProtocolError, match="malformed sweep task"):
+            sweep_task_from_wire({"workload": "dgemm"})
+
+    def test_unknown_objective_is_typed(self):
+        wire = sweep_task_to_wire(task())
+        wire["objective"] = {"__class__": "EvilObjective"}
+        with pytest.raises(ProtocolError, match="unknown objective"):
+            sweep_task_from_wire(wire)
+
+    def test_objective_from_wire_matches_canonical_form(self):
+        obj = QoSDeadlineObjective(800.0)
+        rebuilt = objective_from_wire(describe_objective(obj))
+        assert describe_objective(rebuilt) == describe_objective(obj)
+        assert objective_from_wire(None) is None
+
+
+class TestResultCodec:
+    def test_pickle_round_trip_is_bit_identical(self):
+        result = computed("dgemm", "CRISP")
+        clone = result_from_wire(result_to_wire(result))
+        assert run_result_to_dict(clone) == run_result_to_dict(result)
+
+    def test_garbage_blob_is_corrupt(self):
+        with pytest.raises(CorruptResultError):
+            result_from_wire("!!!not-base64-pickle!!!")
+
+    def test_error_reconstruction(self):
+        assert isinstance(
+            error_from_wire("InjectedFaultError", "x"), InjectedFaultError
+        )
+        assert isinstance(
+            error_from_wire("CorruptResultError", "x"), CorruptResultError
+        )
+        assert isinstance(
+            error_from_wire("SweepTimeoutError", "x"), SweepTimeoutError
+        )
+        exc = error_from_wire("SomethingNovel", "boom")
+        assert isinstance(exc, RemoteCellError)
+        assert exc.remote_type == "SomethingNovel"
+
+
+# ----------------------------------------------------------------------
+# Executor surface
+
+
+class TestExecutorSurface:
+    def test_remote_backend_requires_broker(self):
+        with pytest.raises(ValueError, match="requires a broker"):
+            SweepExecutor(backend="remote")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            SweepExecutor(backend="cloud")
+
+    def test_local_backend_unchanged(self):
+        r = SweepExecutor().run_one(task())
+        assert run_result_to_dict(r) == run_result_to_dict(
+            computed("dgemm", "CRISP")
+        )
+
+
+# ----------------------------------------------------------------------
+# End-to-end: real workers
+
+
+class TestEndToEnd:
+    def test_two_workers_bit_identical_and_ordered(self, tmp_path):
+        tasks = [task(w, d) for w in ("dgemm", "hacc")
+                 for d in ("CRISP", "PCSTALL")]
+        serial = SweepExecutor().run(tasks)
+        manifest = tmp_path / "sweep.manifest.jsonl"
+        tracer = Tracer(ring_size=0)
+        with BrokerHarness(
+            tasks,
+            executor_kw=dict(
+                cache=ResultCache(tmp_path / "cache"),
+                checkpoint=SweepCheckpoint(manifest, sweep="e2e"),
+                tracer=tracer,
+            ),
+        ) as h:
+            workers = [h.worker(name=f"w{i}") for i in range(2)]
+            threads = [threading.Thread(target=w.run) for w in workers]
+            for t in threads:
+                t.start()
+            results = h.join()
+            for t in threads:
+                t.join(timeout=30)
+        assert [run_result_to_dict(r) for r in results] == [
+            run_result_to_dict(r) for r in serial
+        ]
+        # Both workers did real work and nothing was double-kept.
+        assert sum(w.summary.completed for w in workers) == len(tasks)
+        assert len(h.ex.checkpoint.completed) == len(tasks)
+        counters = h.ex.progress.registry.counter_values()
+        assert counters["sweep_cells_total"] == len(tasks)
+        assert counters["sweep_cells_remote"] == len(tasks)
+        assert counters["sweep_workers_connected"] == 2
+        # Cross-host spans: every worker-side run span nests under a
+        # broker-side cell span within one trace.
+        spans = [r for r in tracer.collect() if r.get("type") == "span"]
+        by_id = {s["span_id"]: s for s in spans}
+        runs = [s for s in spans if s["name"] == "run"]
+        assert len(runs) == len(tasks)
+        for r in runs:
+            assert by_id[r["parent_id"]]["name"] == "cell"
+            assert r["trace_id"] == by_id[r["parent_id"]]["trace_id"]
+
+    def test_remote_sweep_reuses_cache(self, tmp_path):
+        tasks = [task("dgemm", "CRISP"), task("dgemm", "PCSTALL")]
+        cache = ResultCache(tmp_path / "cache")
+        with BrokerHarness(tasks, executor_kw=dict(cache=cache)) as h:
+            w = h.worker(name="w0")
+            t = threading.Thread(target=w.run)
+            t.start()
+            first = h.join()
+            t.join(timeout=30)
+        # Second remote run: everything cached, no broker/worker needed.
+        ex2 = SweepExecutor(
+            backend="remote", broker=SweepBroker(port=0), cache=cache
+        )
+        second = ex2.run(tasks)
+        assert [run_result_to_dict(r) for r in second] == [
+            run_result_to_dict(r) for r in first
+        ]
+        assert ex2.progress.cache_hits == len(tasks)
+
+    def test_worker_max_tasks_leaves_early(self, tmp_path):
+        tasks = [task("dgemm", "CRISP"), task("dgemm", "PCSTALL")]
+        with BrokerHarness(tasks) as h:
+            limited = h.worker(name="limited", max_tasks=1)
+            rest = h.worker(name="rest")
+            t1 = threading.Thread(target=limited.run)
+            t1.start()
+            t1.join(timeout=60)
+            assert limited.summary.completed == 1
+            t2 = threading.Thread(target=rest.run)
+            t2.start()
+            results = h.join()
+            t2.join(timeout=30)
+        assert len(results) == 2 and all(r is not None for r in results)
+
+
+# ----------------------------------------------------------------------
+# Leases: death, expiry, heartbeats, exactly-once
+
+
+class TestLeases:
+    def test_dead_worker_lease_reclaimed_and_reassigned(self):
+        tasks = [task("dgemm", "CRISP"), task("dgemm", "PCSTALL")]
+        with BrokerHarness(tasks) as h:
+            dead = h.connect()
+            handshake(dead, "doomed")
+            grant = lease(dead)
+            dead.close()  # dies holding the lease; broker must reclaim
+            w = h.worker(name="survivor")
+            t = threading.Thread(target=w.run)
+            t.start()
+            results = h.join()
+            t.join(timeout=30)
+        assert all(r is not None for r in results)
+        assert h.ex.progress.reclaims >= 1
+        label, worker, attempt, cause = h.ex.progress.reclaim_events[0]
+        assert label == tasks[int(grant["index"])].label
+        assert attempt == 1 and "disconnect" in cause
+        counters = h.ex.progress.registry.counter_values()
+        assert counters["sweep_cells_reclaimed"] >= 1
+        assert counters["sweep_retries_total"] >= 1
+        # The reclaimed cell's second attempt is charged to the budget.
+        record = next(
+            c for c in h.ex.progress.cells if c.label == label
+        )
+        assert record.attempts == 2
+
+    def test_expired_lease_reclaimed_without_disconnect(self):
+        """A hung worker (connected, silent, no heartbeats) loses its
+        lease at the deadline; its late result is then refused."""
+        tasks = [task("dgemm", "CRISP")]
+        with BrokerHarness(tasks) as h:
+            hung = h.connect()
+            handshake(hung, "hung")
+            grant = lease(hung)
+            # No heartbeats: lease (0.6s) expires, reaper reclaims.
+            deadline = time.monotonic() + 10
+            while h.ex.progress.reclaims == 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert h.ex.progress.reclaims == 1
+            # The stale attempt-1 result must be refused (exactly-once)...
+            send_frame(hung, result_frames(tasks[0], grant["index"],
+                                           grant["attempt"]))
+            ack = recv_frame(hung, strict=True)
+            assert ack == {"type": "ack", "accepted": False}
+            # ...and the same connection may lease the cell again.
+            regrant = lease(hung)
+            assert regrant["index"] == grant["index"]
+            assert regrant["attempt"] == grant["attempt"] + 1
+            send_frame(hung, result_frames(tasks[0], regrant["index"],
+                                           regrant["attempt"]))
+            ack = recv_frame(hung, strict=True)
+            assert ack == {"type": "ack", "accepted": True}
+            results = h.join()
+            hung.close()
+        assert run_result_to_dict(results[0]) == run_result_to_dict(
+            computed("dgemm", "CRISP")
+        )
+        counters = h.ex.progress.registry.counter_values()
+        assert counters["sweep_cells_reclaimed"] == 1
+        assert counters["sweep_results_duplicate"] == 1
+
+    def test_heartbeats_keep_a_slow_lease_alive(self):
+        tasks = [task("dgemm", "CRISP")]
+        with BrokerHarness(tasks) as h:
+            slow = h.connect()
+            handshake(slow, "slow")
+            grant = lease(slow)
+            # Hold the lease well past lease_s (0.6s) with heartbeats.
+            for _ in range(8):
+                time.sleep(0.2)
+                send_frame(slow, {"type": "heartbeat",
+                                  "index": grant["index"]})
+            assert h.ex.progress.reclaims == 0
+            send_frame(slow, result_frames(tasks[0], grant["index"],
+                                           grant["attempt"]))
+            assert recv_frame(slow, strict=True)["accepted"] is True
+            h.join()
+            slow.close()
+        assert h.ex.progress.reclaims == 0
+
+    def test_task_timeout_caps_a_heartbeating_hang(self):
+        """With task_timeout_s set, heartbeats cannot renew forever: the
+        hard deadline reclaims a wedged-but-alive worker's lease."""
+        tasks = [task("dgemm", "CRISP")]
+        with BrokerHarness(
+            tasks, executor_kw=dict(task_timeout_s=0.5)
+        ) as h:
+            wedged = h.connect()
+            handshake(wedged, "wedged")
+            grant = lease(wedged)
+            stop = threading.Event()
+
+            def beat():
+                while not stop.wait(0.1):
+                    try:
+                        send_frame(wedged, {"type": "heartbeat",
+                                            "index": grant["index"]})
+                    except OSError:
+                        return
+
+            beater = threading.Thread(target=beat)
+            beater.start()
+            deadline = time.monotonic() + 15
+            while h.ex.progress.reclaims == 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert h.ex.progress.reclaims == 1, \
+                "hard lease cap never fired despite heartbeats"
+            w = h.worker(name="healthy")
+            t = threading.Thread(target=w.run)
+            t.start()
+            h.join()
+            stop.set()
+            beater.join()
+            t.join(timeout=30)
+            wedged.close()
+
+
+# ----------------------------------------------------------------------
+# Failure accounting
+
+
+class TestFailures:
+    def test_remote_failures_exhaust_into_failed_cell(self):
+        tasks = [task("dgemm", "CRISP")]
+        retry = RetryPolicy(max_attempts=2, backoff_base_s=0.01,
+                            on_exhausted=ON_EXHAUSTED_RECORD)
+        with BrokerHarness(tasks, executor_kw=dict(retry=retry)) as h:
+            sock = h.connect()
+            handshake(sock, "faulty")
+            for expected_attempt in (1, 2):
+                grant = lease(sock)
+                assert grant["attempt"] == expected_attempt
+                send_frame(sock, {
+                    "type": "fail", "index": grant["index"],
+                    "attempt": grant["attempt"],
+                    "error_type": "InjectedFaultError", "error": "planned",
+                })
+                assert recv_frame(sock, strict=True)["type"] == "ack"
+            results = h.join()
+            sock.close()
+        cell = results[0]
+        assert isinstance(cell, FailedCell)
+        assert cell.attempts == 2
+        assert "InjectedFaultError" in cell.error
+        assert h.ex.progress.failures == 1
+
+    def test_nonretryable_remote_failure_fails_fast(self):
+        tasks = [task("dgemm", "CRISP")]
+        retry = RetryPolicy(max_attempts=3, backoff_base_s=0.01,
+                            on_exhausted=ON_EXHAUSTED_RECORD)
+        with BrokerHarness(tasks, executor_kw=dict(retry=retry)) as h:
+            sock = h.connect()
+            handshake(sock, "broken-env")
+            grant = lease(sock)
+            send_frame(sock, {
+                "type": "fail", "index": grant["index"],
+                "attempt": grant["attempt"],
+                "error_type": "TaskKeyMismatch",
+                "error": "version skew",
+            })
+            assert recv_frame(sock, strict=True)["type"] == "ack"
+            results = h.join()
+            sock.close()
+        # One attempt only: an unknown error type is not retryable.
+        cell = results[0]
+        assert isinstance(cell, FailedCell) and cell.attempts == 1
+
+    def test_lease_expiry_is_implicitly_retryable(self):
+        assert not RetryPolicy().is_retryable(LeaseExpired("x"))
+        # ...by policy type it is not listed, but the broker treats it
+        # as retryable explicitly - guarded by the reclaim tests above.
+        assert LeaseExpired.__mro__[1] is RuntimeError
+
+    def test_corrupt_shipped_result_charges_a_retry(self):
+        tasks = [task("dgemm", "CRISP")]
+        with BrokerHarness(tasks) as h:
+            sock = h.connect()
+            handshake(sock, "corruptor")
+            grant = lease(sock)
+            frame = result_frames(tasks[0], grant["index"], grant["attempt"])
+            frame["dict"] = {"tampered": True}  # pickle/dict mismatch
+            send_frame(sock, frame)
+            assert recv_frame(sock, strict=True)["accepted"] is False
+            # Integrity failure charged as CorruptResultError; re-lease
+            # and complete properly.
+            regrant = lease(sock)
+            assert regrant["attempt"] == 2
+            send_frame(sock, result_frames(tasks[0], regrant["index"], 2))
+            assert recv_frame(sock, strict=True)["accepted"] is True
+            h.join()
+            sock.close()
+        assert any(
+            kind == "CorruptResultError"
+            for _, _, kind in h.ex.progress.retry_events
+        )
+
+
+# ----------------------------------------------------------------------
+# Adversarial peers
+
+
+class TestAdversarialPeers:
+    def test_protocol_version_mismatch_rejected(self):
+        tasks = [task("dgemm", "CRISP")]
+        with BrokerHarness(tasks) as h:
+            sock = h.connect()
+            send_frame(sock, {"type": "hello", "protocol": 99, "worker": "x"})
+            reply = recv_frame(sock, strict=True)
+            assert reply["type"] == "error"
+            assert "version mismatch" in reply["error"]
+            sock.close()
+            self._finish(h)
+
+    def test_unknown_message_type_rejected(self):
+        tasks = [task("dgemm", "CRISP")]
+        with BrokerHarness(tasks) as h:
+            sock = h.connect()
+            handshake(sock, "weird")
+            send_frame(sock, {"type": "exfiltrate"})
+            reply = recv_frame(sock, strict=True)
+            assert reply["type"] == "error"
+            sock.close()
+            self._finish(h)
+
+    def test_garbage_bytes_do_not_wedge_the_broker(self):
+        tasks = [task("dgemm", "CRISP")]
+        with BrokerHarness(tasks) as h:
+            # Oversized length prefix, then torn garbage, then vanish.
+            sock = h.connect()
+            sock.sendall(struct.pack(">I", 2**31) + b"\x00junk")
+            sock.close()
+            sock2 = h.connect()
+            sock2.sendall(b"\x00\x00\x00\x10only-half")
+            sock2.close()
+            self._finish(h)
+
+    def test_goodbye_is_clean(self):
+        tasks = [task("dgemm", "CRISP")]
+        with BrokerHarness(tasks) as h:
+            sock = h.connect()
+            handshake(sock, "polite")
+            send_frame(sock, {"type": "goodbye"})
+            assert recv_frame(sock, strict=True)["type"] == "bye"
+            assert recv_frame(sock, strict=True) is None
+            sock.close()
+            self._finish(h)
+
+    @staticmethod
+    def _finish(h):
+        """The sweep must still complete via an honest worker."""
+        w = h.worker(name="honest")
+        t = threading.Thread(target=w.run)
+        t.start()
+        results = h.join()
+        t.join(timeout=30)
+        assert all(r is not None for r in results)
+        assert h.ex.progress.reclaims == 0  # garbage held no leases
+
+
+class TestWorkerAgainstHostileBroker:
+    """The worker loop must turn broker misbehaviour into WorkerError."""
+
+    def _serve(self, script):
+        """One-shot fake broker: accepts one worker, runs ``script(conn)``."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        listener.settimeout(10.0)
+        port = listener.getsockname()[1]
+
+        def run():
+            conn, _ = listener.accept()
+            conn.settimeout(10.0)
+            try:
+                script(conn)
+            finally:
+                conn.close()
+                listener.close()
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        return port, thread
+
+    def test_garbage_reply_is_worker_error(self):
+        def script(conn):
+            recv_frame(conn, strict=True)  # hello
+            conn.sendall(struct.pack(">I", 2**31))  # oversized prefix
+
+        port, thread = self._serve(script)
+        with pytest.raises(WorkerError, match="protocol violation"):
+            SweepWorker(port=port, timeout_s=5.0).run()
+        thread.join(timeout=10)
+
+    def test_mid_frame_disconnect_is_worker_error(self):
+        def script(conn):
+            recv_frame(conn, strict=True)
+            conn.sendall(b"\x00\x00\x01\x00partial")  # torn frame, close
+
+        port, thread = self._serve(script)
+        with pytest.raises(WorkerError):
+            SweepWorker(port=port, timeout_s=5.0).run()
+        thread.join(timeout=10)
+
+    def test_tampered_task_key_refused_before_compute(self):
+        """A task whose rebuilt key mismatches the broker's is never
+        executed - the worker reports TaskKeyMismatch instead."""
+        t = task("dgemm", "CRISP")
+        seen = {}
+
+        def script(conn):
+            recv_frame(conn, strict=True)  # hello
+            send_frame(conn, {"type": "hello_ok",
+                              "protocol": BROKER_PROTOCOL_VERSION,
+                              "lease_s": 5.0, "heartbeat_s": 1.0,
+                              "n_tasks": 1})
+            recv_frame(conn, strict=True)  # ready
+            send_frame(conn, {
+                "type": "task", "index": 0, "attempt": 1,
+                "key": "0" * 64,  # tampered
+                "task": sweep_task_to_wire(t), "lease_s": 5.0, "span": None,
+            })
+            seen["fail"] = recv_frame(conn, strict=True)
+            send_frame(conn, {"type": "ack", "accepted": True})
+            recv_frame(conn, strict=True)  # next ready
+            send_frame(conn, {"type": "done"})
+
+        port, thread = self._serve(script)
+        worker = SweepWorker(port=port, timeout_s=10.0)
+        summary = worker.run()
+        thread.join(timeout=10)
+        assert seen["fail"]["type"] == "fail"
+        assert seen["fail"]["error_type"] == "TaskKeyMismatch"
+        assert summary.failed == 1 and summary.completed == 0
+
+    def test_no_broker_is_worker_error(self):
+        with pytest.raises(WorkerError, match="no broker"):
+            SweepWorker(port=1, connect_timeout_s=0.3, timeout_s=1.0).run()
