@@ -62,7 +62,7 @@ from repro.telemetry import (
     TelemetryConfig,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "DvfsConfig",

@@ -255,6 +255,13 @@ class PhaseHistoryPredictor(Predictor):
 
     name = "HISTORY"
 
+    #: Longest accepted history pattern. The pattern table can hold up
+    #: to ``n_levels ** history_length`` entries per domain, so an
+    #: unbounded length is a memory blow-up dressed as a parameter (at
+    #: the default 8 levels, 16 already allows ~2.8e14 patterns - far
+    #: beyond any epoch stream's reach, so the cap costs nothing real).
+    MAX_HISTORY_LENGTH = 16
+
     def __init__(
         self,
         model: EstimationModel,
@@ -264,6 +271,12 @@ class PhaseHistoryPredictor(Predictor):
     ) -> None:
         if history_length < 1:
             raise ValueError("history_length must be positive")
+        if history_length > self.MAX_HISTORY_LENGTH:
+            raise ValueError(
+                f"history_length {history_length} exceeds the "
+                f"MAX_HISTORY_LENGTH cap of {self.MAX_HISTORY_LENGTH} "
+                f"(pattern-table size grows as n_levels ** history_length)"
+            )
         if n_levels < 2:
             raise ValueError("need at least two quantisation levels")
         self.model = model
@@ -308,6 +321,15 @@ class PhaseHistoryPredictor(Predictor):
             predicted = self._table[d].get(pattern) if len(pattern) == self.history_length else None
             out.append(predicted if predicted is not None else self._last[d])
         return out
+
+    def table_entries(self) -> int:
+        """Total stored patterns across all domains (bounded by
+        ``n_domains * n_levels ** history_length``)."""
+        return sum(len(t) for t in self._table)
+
+    def max_table_entries(self) -> int:
+        """The hard ceiling the pattern tables can never exceed."""
+        return self.config.n_domains * self.n_levels ** self.history_length
 
 
 class OraclePredictor(Predictor):

@@ -59,12 +59,24 @@ DESIGN_NAMES = (
 #: HISTORY - the CPU-era global phase-history-table predictor [55, 57];
 #: PCCRISP/PCLEAD/PCCRIT - the PC-based mechanism fed by alternative
 #: estimators (the paper notes its predictor could be combined with any
-#: estimation model and picked STALL for simplicity, Section 5.3).
-EXTENSION_DESIGNS = ("HISTORY", "PCCRISP", "PCLEAD", "PCCRIT")
+#: estimation model and picked STALL for simplicity, Section 5.3);
+#: LEARNED - a trained sensitivity model from the model registry
+#: (:mod:`repro.learn`), addressed as ``LEARNED@<ref>``.
+EXTENSION_DESIGNS = ("HISTORY", "PCCRISP", "PCLEAD", "PCCRIT", "LEARNED")
 
 
 def static_design_name(f_ghz: float) -> str:
     return f"STATIC@{f_ghz:.1f}"
+
+
+def learned_design_name(model_ref: str) -> str:
+    """The design string that pins a specific registry model.
+
+    Embedding the reference in the design name means the existing sweep
+    cache keys, trace headers and replay opens all carry the model
+    identity with zero extra plumbing.
+    """
+    return f"LEARNED@{model_ref}"
 
 
 def make_controller(
@@ -73,15 +85,20 @@ def make_controller(
     objective: Optional[Objective] = None,
     table_config: Optional[PCTableConfig] = None,
     cus_per_table: int = 1,
+    model_ref: Optional[str] = None,
 ) -> DvfsController:
     """Build the controller for a named design.
 
     Args:
-        design: one of :data:`DESIGN_NAMES` or ``"STATIC@<f>"``.
+        design: one of :data:`DESIGN_NAMES` / :data:`EXTENSION_DESIGNS`,
+            ``"STATIC@<f>"``, or ``"LEARNED@<model-ref>"``.
         objective: frequency-selection objective; defaults to ED2P
             (the paper's headline metric). Ignored for static designs.
         table_config: PC table geometry for the PC-based designs.
         cus_per_table: PC-table sharing granularity.
+        model_ref: default registry reference for a bare ``"LEARNED"``
+            design (``repro serve --model``); a ``LEARNED@<ref>`` design
+            always wins over this.
     """
     gpu_cfg = sim_config.gpu
     obj = objective or EDnPObjective(2)
@@ -91,6 +108,23 @@ def make_controller(
         f = float(design.split("@", 1)[1])
         return DvfsController(
             StaticPredictor(gpu_cfg.n_domains), StaticObjective(f), sim_config
+        )
+    if design == "LEARNED" or design.startswith("LEARNED@"):
+        # Lazy import: learn.evaluate reaches back into the design
+        # registry via run_task, so a top-level import would cycle.
+        from repro.learn.models import LearnedPredictor
+        from repro.learn.registry import ModelResolutionError, load_model
+
+        ref = design.split("@", 1)[1] if "@" in design else model_ref
+        if not ref:
+            raise ModelResolutionError(
+                "LEARNED needs a model reference: use 'LEARNED@<ref>' or "
+                "pass model_ref (repro serve --model <ref>)"
+            )
+        # A fresh model instance per controller: online-updatable models
+        # mutate while serving, and sessions must not share state.
+        return DvfsController(
+            LearnedPredictor(load_model(ref), gpu_cfg), obj, sim_config
         )
     if design == "STALL":
         predictor = ReactivePredictor(StallModel(), gpu_cfg)
@@ -134,10 +168,18 @@ def make_controller(
         )
         predictor.name = design
     else:
+        known = ", ".join(sorted(DESIGN_NAMES + EXTENSION_DESIGNS))
         raise ValueError(
-            f"unknown design {design!r}; known: {DESIGN_NAMES + EXTENSION_DESIGNS}"
+            f"unknown design {design!r}; known: {known} "
+            f"(plus STATIC@<f> and LEARNED@<model-ref>)"
         )
     return DvfsController(predictor, obj, sim_config)
 
 
-__all__ = ["DESIGN_NAMES", "EXTENSION_DESIGNS", "make_controller", "static_design_name"]
+__all__ = [
+    "DESIGN_NAMES",
+    "EXTENSION_DESIGNS",
+    "learned_design_name",
+    "make_controller",
+    "static_design_name",
+]

@@ -93,6 +93,10 @@ class ServiceConfig:
     write_buffer_limit: int = 1 << 20
     #: How long shutdown waits for admitted work to finish.
     drain_timeout_s: float = 10.0
+    #: Default model-registry reference served to sessions opening the
+    #: bare ``LEARNED`` design (``repro serve --model``). Sessions that
+    #: pin a model via ``LEARNED@<ref>`` override this per open.
+    model_ref: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -338,7 +342,12 @@ class DecisionService:
         try:
             sim_config = proto.sim_config_from_wire(msg["config"])
             objective = proto.objective_from_name(str(msg.get("objective", "")))
-            controller = make_controller(design, sim_config, objective)
+            # Unknown designs and unresolvable LEARNED model references
+            # both surface as ValueError and reject as bad opens.
+            controller = make_controller(
+                design, sim_config, objective,
+                model_ref=self.config.model_ref,
+            )
         except (proto.ProtocolError, KeyError, ValueError) as exc:
             reject("bad_open", str(exc))
             return None

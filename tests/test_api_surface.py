@@ -79,6 +79,12 @@ class TestTopLevel:
         "repro.bench",
         "repro.bench.baseline",
         "repro.bench.micro",
+        "repro.learn",
+        "repro.learn.features",
+        "repro.learn.dataset",
+        "repro.learn.models",
+        "repro.learn.registry",
+        "repro.learn.evaluate",
         "repro.obs",
         "repro.obs.trace",
         "repro.obs.drift",
